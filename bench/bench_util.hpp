@@ -1,0 +1,66 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "app/scenario.hpp"
+
+namespace ew::bench {
+
+/// Wall-clock label for a recording-window offset (t=0 is 23:36:56 PST).
+inline std::string pst_label(Duration offset_from_record_start) {
+  const std::int64_t base = 23 * 3600 + 36 * 60 + 56;
+  const std::int64_t s = (base + offset_from_record_start / kSecond) % 86400;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                static_cast<long long>(s / 3600),
+                static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
+  return buf;
+}
+
+inline double series_max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+inline double series_mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+inline double window_min(const std::vector<double>& v, std::size_t from,
+                         std::size_t count) {
+  double m = 1e300;
+  for (std::size_t i = from; i < std::min(from + count, v.size()); ++i) {
+    m = std::min(m, v[i]);
+  }
+  return m;
+}
+
+inline double window_max(const std::vector<double>& v, std::size_t from,
+                         std::size_t count) {
+  double m = 0;
+  for (std::size_t i = from; i < std::min(from + count, v.size()); ++i) {
+    m = std::max(m, v[i]);
+  }
+  return m;
+}
+
+inline double coefficient_of_variation(const std::vector<double>& v) {
+  RunningStats s;
+  for (double x : v) s.add(x);
+  return s.cv();
+}
+
+/// "who wins / by what factor" line for EXPERIMENTS.md.
+inline void print_shape_check(const char* label, double measured, double paper) {
+  const double ratio = paper > 0 ? measured / paper : 0.0;
+  std::printf("  %-28s measured %10.3g   paper %10.3g   ratio %5.2f\n", label,
+              measured, paper, ratio);
+}
+
+}  // namespace ew::bench

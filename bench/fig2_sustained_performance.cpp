@@ -1,0 +1,47 @@
+// Figure 2: "Sustained Application Performance" — total delivered integer
+// ops/sec, 5-minute averages, over the 12 hours (23:36:56 -> 11:36:56 PST)
+// including the 11:00 judging-time contention spike.
+//
+// Paper anchors: peak 2.39e9 ops/s (09:51-09:56 test an hour before the
+// competition), drop to 1.1e9 when judging began at 11:00, recovery to
+// 2.0e9 by 11:10 as the application reorganized.
+#include "bench/bench_util.hpp"
+
+using namespace ew;
+using namespace ew::bench;
+
+int main() {
+  std::printf("=== Figure 2: sustained application performance ===\n");
+  std::printf("12-hour SC98 window, 5-minute averages, full fleet, seed 42\n\n");
+
+  app::ScenarioOptions opts;  // defaults are the calibrated SC98 setup
+  app::Sc98Scenario scenario(opts);
+  const app::ScenarioResults res = scenario.run();
+
+  std::printf("%-10s %12s\n", "time(PST)", "ops/sec");
+  for (std::size_t i = 0; i < res.total_rate.size(); ++i) {
+    std::printf("%-10s %12.4e\n",
+                pst_label(res.bin_start[i] - res.bin_start[0]).c_str(),
+                res.total_rate[i]);
+  }
+
+  const std::size_t j = res.bins_judging_index;
+  const double peak = series_max(res.total_rate);
+  const double dip = window_min(res.total_rate, j, 4);
+  const double recovered = window_max(res.total_rate, j + 2, 5);
+
+  std::printf("\nshape check vs paper:\n");
+  print_shape_check("peak sustained (ops/s)", peak, 2.39e9);
+  print_shape_check("judging-time dip (ops/s)", dip, 1.1e9);
+  print_shape_check("post-adaptation (ops/s)", recovered, 2.0e9);
+  std::printf("\nrun totals: %.3e ops, %llu reports, %llu migrations, "
+              "%llu clients presumed dead\n",
+              static_cast<double>(res.total_ops),
+              static_cast<unsigned long long>(res.reports),
+              static_cast<unsigned long long>(res.migrations),
+              static_cast<unsigned long long>(res.presumed_dead));
+
+  const bool ok = peak > 1.5e9 && dip < 0.65 * peak && recovered > 0.75 * peak;
+  std::printf("figure-2 shape: %s\n", ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

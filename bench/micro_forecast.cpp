@@ -1,0 +1,73 @@
+// Microbenchmarks for the forecasting layer (google-benchmark): the paper
+// calls the NWS methods "light-weight" and runs them inline on every
+// request/response event — this bench quantifies that.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "forecast/dynamic_benchmark.hpp"
+#include "forecast/selector.hpp"
+#include "forecast/timeout.hpp"
+
+namespace ew {
+namespace {
+
+void BM_SelectorObserve(benchmark::State& state) {
+  auto f = AdaptiveForecaster::nws_default();
+  Rng rng(1);
+  for (auto _ : state) {
+    f.observe(rng.uniform(50, 150));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SelectorObserve);
+
+void BM_SelectorForecast(benchmark::State& state) {
+  auto f = AdaptiveForecaster::nws_default();
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) f.observe(rng.uniform(50, 150));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.forecast());
+  }
+}
+BENCHMARK(BM_SelectorForecast);
+
+void BM_BankRecordAndForecast(benchmark::State& state) {
+  // The per-RPC cost of dynamic benchmarking: one record + one forecast.
+  EventForecasterBank bank;
+  const EventTag tag{"sched-0:601", 0x0202};
+  Rng rng(3);
+  for (auto _ : state) {
+    bank.record(tag, rng.uniform(50, 150));
+    benchmark::DoNotOptimize(bank.forecast(tag));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BankRecordAndForecast);
+
+void BM_AdaptiveTimeoutRoundTrip(benchmark::State& state) {
+  // timeout() + on_result(): what every Node call pays.
+  AdaptiveTimeout t;
+  const EventTag tag{"sched-0:601", 0x0202};
+  Rng rng(4);
+  for (auto _ : state) {
+    const Duration to = t.timeout(tag);
+    benchmark::DoNotOptimize(to);
+    t.on_result(tag, static_cast<Duration>(rng.uniform(5e4, 2e5)), true);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdaptiveTimeoutRoundTrip);
+
+void BM_SingleMethodObserve(benchmark::State& state) {
+  // One battery member in isolation, for contrast with the full selector.
+  SlidingMedian f(31);
+  Rng rng(5);
+  for (auto _ : state) {
+    f.observe(rng.uniform(50, 150));
+    benchmark::DoNotOptimize(f.predict());
+  }
+}
+BENCHMARK(BM_SingleMethodObserve);
+
+}  // namespace
+}  // namespace ew

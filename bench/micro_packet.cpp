@@ -1,0 +1,95 @@
+// Microbenchmarks for the lingua franca: packet framing, stream reassembly,
+// and the wire serializer (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "gossip/protocol.hpp"
+#include "net/packet.hpp"
+
+namespace ew {
+namespace {
+
+Packet sample_packet(std::size_t payload) {
+  Packet p;
+  p.kind = PacketKind::kRequest;
+  p.type = 0x0202;
+  p.seq = 123456789;
+  p.payload = Bytes(payload, 0xAB);
+  return p;
+}
+
+void BM_EncodePacket(benchmark::State& state) {
+  const Packet p = sample_packet(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_packet(p));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.payload.size() + wire::kHeaderSize));
+}
+BENCHMARK(BM_EncodePacket)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_FrameParseRoundTrip(benchmark::State& state) {
+  const Bytes wire = encode_packet(sample_packet(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    FrameParser fp;
+    fp.feed(wire);
+    auto out = fp.next();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameParseRoundTrip)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_FrameParseChunked(benchmark::State& state) {
+  // Stream reassembly with awkward chunking — the TCP worst case.
+  Bytes wire;
+  for (int i = 0; i < 16; ++i) {
+    const Bytes one = encode_packet(sample_packet(512));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FrameParser fp;
+    std::size_t got = 0;
+    for (std::size_t off = 0; off < wire.size(); off += chunk) {
+      fp.feed(std::span(wire).subspan(off, std::min(chunk, wire.size() - off)));
+      while (fp.next().ok()) ++got;
+    }
+    if (got != 16) state.SkipWithError("lost packets");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameParseChunked)->Arg(7)->Arg(64)->Arg(1460);
+
+void BM_SerializeToken(benchmark::State& state) {
+  gossip::Token t;
+  t.round = 42;
+  t.view.generation = 7;
+  t.view.leader = Endpoint{"gossip-0", 501};
+  for (int i = 0; i < 8; ++i) {
+    t.view.members.push_back(Endpoint{"gossip-" + std::to_string(i), 501});
+  }
+  t.visited = t.view.members;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.serialize());
+  }
+}
+BENCHMARK(BM_SerializeToken);
+
+void BM_DeserializeToken(benchmark::State& state) {
+  gossip::Token t;
+  t.round = 42;
+  t.view.leader = Endpoint{"gossip-0", 501};
+  for (int i = 0; i < 8; ++i) {
+    t.view.members.push_back(Endpoint{"gossip-" + std::to_string(i), 501});
+  }
+  const Bytes wire = t.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::Token::deserialize(wire));
+  }
+}
+BENCHMARK(BM_DeserializeToken);
+
+}  // namespace
+}  // namespace ew

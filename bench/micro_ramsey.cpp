@@ -1,0 +1,96 @@
+// Microbenchmarks for the Ramsey kernels: clique counting, flip deltas, and
+// heuristic move throughput — the "useful work" whose instrumented ops the
+// whole evaluation counts (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "ramsey/clique.hpp"
+#include "ramsey/heuristic.hpp"
+
+namespace ew::ramsey {
+namespace {
+
+void BM_CountBadCliques(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const ColoredGraph g = ColoredGraph::random(n, rng);
+  std::uint64_t ops_total = 0;
+  for (auto _ : state) {
+    OpsCounter ops;
+    benchmark::DoNotOptimize(count_bad_cliques(g, k, ops));
+    ops_total += ops.ops;
+  }
+  state.counters["instr_ops/s"] = benchmark::Counter(
+      static_cast<double>(ops_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CountBadCliques)
+    ->Args({17, 4})
+    ->Args({25, 4})
+    ->Args({42, 5})
+    ->Args({64, 5});
+
+void BM_FlipDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Rng rng(2);
+  ColoredGraph g = ColoredGraph::random(n, rng);
+  int i = 0, j = 1;
+  for (auto _ : state) {
+    OpsCounter ops;
+    benchmark::DoNotOptimize(flip_delta(g, k, i, j, ops));
+    j = (j + 1) % n;
+    if (j == i) j = (j + 1) % n;
+  }
+}
+BENCHMARK(BM_FlipDelta)->Args({17, 4})->Args({42, 5});
+
+void BM_HeuristicThroughput(benchmark::State& state) {
+  // Native instrumented-op rate of each heuristic; this is the per-host
+  // calibration number behind the simulator's ops accounting.
+  const auto kind = static_cast<HeuristicKind>(state.range(0));
+  HeuristicParams p;
+  p.n = 42;
+  p.k = 5;
+  p.seed = 3;
+  auto h = make_heuristic(kind, p);
+  std::uint64_t ops_total = 0;
+  for (auto _ : state) {
+    const StepOutcome out = h->run(1'000'000);
+    ops_total += out.ops_used;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(heuristic_name(kind));
+  state.counters["instr_ops/s"] = benchmark::Counter(
+      static_cast<double>(ops_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HeuristicThroughput)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GraphSerialize(benchmark::State& state) {
+  Rng rng(4);
+  const ColoredGraph g = ColoredGraph::random(42, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.serialize());
+  }
+}
+BENCHMARK(BM_GraphSerialize);
+
+void BM_GraphDeserializeValidated(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes blob = ColoredGraph::random(42, rng).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColoredGraph::deserialize(blob));
+  }
+}
+BENCHMARK(BM_GraphDeserializeValidated);
+
+void BM_IsCounterexamplePaley17(benchmark::State& state) {
+  // The persistent state manager's sanity check on every claimed store.
+  const auto g = ColoredGraph::paley(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_counterexample(*g, 4));
+  }
+}
+BENCHMARK(BM_IsCounterexamplePaley17);
+
+}  // namespace
+}  // namespace ew::ramsey

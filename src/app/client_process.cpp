@@ -1,0 +1,63 @@
+#include "app/client_process.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "common/log.hpp"
+
+namespace ew::app {
+
+namespace {
+core::RamseyClient::Options client_options(infra::SimHost& host,
+                                           const ClientProcess::Config& config) {
+  core::RamseyClient::Options o;
+  o.schedulers = config.schedulers;
+  // Spread first-contact load across the scheduling servers: rotate each
+  // client's failover list by a stable per-host amount.
+  if (o.schedulers.size() > 1) {
+    const auto shift = static_cast<std::ptrdiff_t>(fnv1a64(host.spec().name) %
+                                                   o.schedulers.size());
+    std::rotate(o.schedulers.begin(), o.schedulers.begin() + shift,
+                o.schedulers.end());
+  }
+  o.infra = config.infra;
+  o.host_label = host.spec().name;
+  o.rate_source = [&host] { return host.current_rate(); };
+  o.simulated_time = config.modeled;
+  o.report_interval = config.report_interval;
+  o.initial_sleep_max = config.initial_sleep_max;
+  o.seed = config.seed ^ fnv1a64(host.spec().name);
+  return o;
+}
+}  // namespace
+
+std::unique_ptr<core::WorkExecutor> ClientProcess::make_executor(bool modeled) {
+  if (modeled) return std::make_unique<core::ModeledWorkExecutor>();
+  return std::make_unique<core::RealWorkExecutor>();
+}
+
+ClientProcess::ClientProcess(Executor& exec, Transport& transport,
+                             infra::SimHost& host, const Config& config)
+    : node_(exec, transport, Endpoint{host.spec().name, config.port}),
+      client_(node_, make_executor(config.modeled), client_options(host, config)) {
+  if (Status s = node_.start(); !s.ok()) {
+    EW_WARN << "client node bind failed on " << host.spec().name << ": "
+            << s.to_string();
+    return;
+  }
+  client_.start();
+}
+
+ClientProcess::~ClientProcess() {
+  client_.stop();
+  node_.stop();
+}
+
+infra::ClientFactory make_client_factory(Executor& exec, Transport& transport,
+                                         ClientProcess::Config config) {
+  return [&exec, &transport, config](infra::SimHost& host) {
+    return std::make_unique<ClientProcess>(exec, transport, host, config);
+  };
+}
+
+}  // namespace ew::app

@@ -1,0 +1,47 @@
+// ClientProcess: a computational client installed on a simulated host.
+//
+// The unit the infrastructure adapters launch and kill: one Node bound on
+// the host plus one RamseyClient. Killing the process (host reclaimed,
+// browser closed, LSF impatience) destroys both — local state is lost, as
+// Section 3.1.2 prescribes; everything that must survive lives with the
+// schedulers, Gossips and persistent state managers.
+#pragma once
+
+#include <memory>
+
+#include "core/client.hpp"
+#include "infra/pool.hpp"
+#include "net/node.hpp"
+
+namespace ew::app {
+
+class ClientProcess final : public infra::Process {
+ public:
+  struct Config {
+    std::vector<Endpoint> schedulers;
+    core::Infra infra = core::Infra::kUnix;
+    Duration report_interval = 2 * kMinute;
+    Duration initial_sleep_max = 45 * kSecond;
+    bool modeled = true;  // ModeledWorkExecutor (fleets) vs real heuristics
+    std::uint16_t port = 2000;
+    std::uint64_t seed = 1;
+  };
+
+  ClientProcess(Executor& exec, Transport& transport, infra::SimHost& host,
+                const Config& config);
+  ~ClientProcess() override;
+
+  [[nodiscard]] const core::RamseyClient& client() const { return client_; }
+
+ private:
+  static std::unique_ptr<core::WorkExecutor> make_executor(bool modeled);
+  Node node_;
+  core::RamseyClient client_;
+};
+
+/// Factory adaptor: returns an infra::ClientFactory that stamps each host's
+/// client with per-host seed/endpoint derived from `config`.
+infra::ClientFactory make_client_factory(Executor& exec, Transport& transport,
+                                         ClientProcess::Config config);
+
+}  // namespace ew::app

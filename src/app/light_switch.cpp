@@ -1,0 +1,81 @@
+#include "app/light_switch.hpp"
+
+#include "gossip/protocol.hpp"
+
+namespace ew::app {
+
+void LightSwitch::turn_on() {
+  query_mds();
+  if (opts_.netsolve_agent.valid()) request_netsolve();
+}
+
+void LightSwitch::retry(void (LightSwitch::*step)()) {
+  node_.executor().schedule(opts_.retry_delay, [this, step] { (this->*step)(); });
+}
+
+void LightSwitch::query_mds() {
+  const EventTag tag = EventTag::of(opts_.mds, core::msgtype::kMdsQuery);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(opts_.mds, core::msgtype::kMdsQuery, {}, timeouts_.timeout(tag),
+             [this, tag, t0](Result<Bytes> r) {
+               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+               if (!r.ok()) {
+                 retry(&LightSwitch::query_mds);
+                 return;
+               }
+               Reader rd(*r);
+               auto gram = gossip::read_endpoint(rd);
+               if (!gram) {
+                 retry(&LightSwitch::query_mds);
+                 return;
+               }
+               authenticate(*gram);
+             });
+}
+
+void LightSwitch::authenticate(const Endpoint& gram) {
+  const EventTag tag = EventTag::of(gram, core::msgtype::kGramAuth);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(gram, core::msgtype::kGramAuth, {}, timeouts_.timeout(tag),
+             [this, gram, tag, t0](Result<Bytes> r) {
+               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+               if (!r.ok()) {
+                 retry(&LightSwitch::query_mds);
+                 return;
+               }
+               submit(gram);
+             });
+}
+
+void LightSwitch::submit(const Endpoint& gram) {
+  Writer w;
+  w.str(opts_.binary);
+  const EventTag tag = EventTag::of(gram, core::msgtype::kGramSubmit);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(gram, core::msgtype::kGramSubmit, w.take(), timeouts_.timeout(tag),
+             [this, tag, t0](Result<Bytes> r) {
+               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+               if (!r.ok()) {
+                 retry(&LightSwitch::query_mds);
+                 return;
+               }
+               globus_on_ = true;
+             });
+}
+
+void LightSwitch::request_netsolve() {
+  const EventTag tag =
+      EventTag::of(opts_.netsolve_agent, core::msgtype::kNetSolveRequest);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(opts_.netsolve_agent, core::msgtype::kNetSolveRequest, {},
+             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+               if (!r.ok()) {
+                 retry(&LightSwitch::request_netsolve);
+                 return;
+               }
+               netsolve_on_ = true;
+             });
+}
+
+}  // namespace ew::app

@@ -1,0 +1,51 @@
+// The "light switch" (paper Section 5.2) and the NetSolve request.
+//
+// "Our principal design goal was to enable light switch functionality,
+// which provides the notion of a single point of control for activating and
+// deactivating the Globus-enabled application components."
+//
+// LightSwitch runs at a control site: it queries the MDS for the
+// gatekeeper/GASS locations, performs the lightweight authenticate-only
+// operation against the gatekeeper, and submits the Ramsey client binary via
+// GRAM. It also sends the NetSolve agent its procedure request. Retries on a
+// timer until both infrastructures acknowledge.
+#pragma once
+
+#include "core/protocol.hpp"
+#include "forecast/timeout.hpp"
+#include "net/node.hpp"
+
+namespace ew::app {
+
+class LightSwitch {
+ public:
+  struct Options {
+    Endpoint mds;                 // Globus directory service
+    Endpoint netsolve_agent;      // optional; invalid = skip NetSolve
+    std::string binary = "ramsey-client";
+    Duration retry_delay = 30 * kSecond;
+  };
+
+  LightSwitch(Node& node, Options opts) : node_(node), opts_(std::move(opts)) {}
+
+  /// Flip the switch: discover, authenticate, submit. Retries until done.
+  void turn_on();
+
+  [[nodiscard]] bool globus_on() const { return globus_on_; }
+  [[nodiscard]] bool netsolve_on() const { return netsolve_on_; }
+
+ private:
+  void query_mds();
+  void authenticate(const Endpoint& gram);
+  void submit(const Endpoint& gram);
+  void request_netsolve();
+  void retry(void (LightSwitch::*step)());
+
+  Node& node_;
+  Options opts_;
+  AdaptiveTimeout timeouts_;
+  bool globus_on_ = false;
+  bool netsolve_on_ = false;
+};
+
+}  // namespace ew::app

@@ -1,0 +1,34 @@
+#include "app/metrics.hpp"
+
+namespace ew::app {
+
+namespace {
+template <std::size_t N>
+std::array<BinnedSeries, N> make_series(TimePoint start, Duration width,
+                                        std::size_t bins) {
+  return []<std::size_t... I>(std::index_sequence<I...>, TimePoint s, Duration w,
+                              std::size_t b) {
+    return std::array<BinnedSeries, N>{((void)I, BinnedSeries(s, w, b))...};
+  }(std::make_index_sequence<N>{}, start, width, bins);
+}
+}  // namespace
+
+MetricsCollector::MetricsCollector(TimePoint record_start, Duration bin_width,
+                                   std::size_t bins)
+    : total_(record_start, bin_width, bins),
+      infra_ops_(make_series<core::kInfraCount>(record_start, bin_width, bins)),
+      infra_hosts_(make_series<core::kInfraCount>(record_start, bin_width, bins)) {}
+
+void MetricsCollector::on_log(const core::LogRecord& rec) {
+  ++records_;
+  const auto ops = static_cast<double>(rec.ops);
+  total_.add(rec.when, ops);
+  infra_ops_[static_cast<std::size_t>(rec.infra)].add(rec.when, ops);
+}
+
+void MetricsCollector::sample_hosts(core::Infra infra, int active_hosts,
+                                    TimePoint t) {
+  infra_hosts_[static_cast<std::size_t>(infra)].sample(t, active_hosts);
+}
+
+}  // namespace ew::app

@@ -1,0 +1,46 @@
+// MetricsCollector: builds the paper's result series.
+//
+// Figures 2-4 are "5 Minute Averages" of (a) delivered integer ops per
+// second per infrastructure, (b) active host counts per infrastructure, and
+// (c) the total rate. The collector is installed as the logging server's
+// sink (ops are binned at the time the scheduler recorded them — the same
+// path the SC98 numbers took) and receives periodic host-count samples from
+// the scenario driver.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/protocol.hpp"
+
+namespace ew::app {
+
+class MetricsCollector {
+ public:
+  MetricsCollector(TimePoint record_start, Duration bin_width, std::size_t bins);
+
+  /// Logging-server sink.
+  void on_log(const core::LogRecord& rec);
+  /// Host-count gauge (call every sampling tick, per infrastructure).
+  void sample_hosts(core::Infra infra, int active_hosts, TimePoint t);
+
+  [[nodiscard]] std::size_t bins() const { return total_.num_bins(); }
+  [[nodiscard]] TimePoint bin_start(std::size_t i) const { return total_.bin_start(i); }
+  [[nodiscard]] std::vector<double> total_rate() const { return total_.rate_series(); }
+  [[nodiscard]] std::vector<double> infra_rate(core::Infra i) const {
+    return infra_ops_[static_cast<std::size_t>(i)].rate_series();
+  }
+  [[nodiscard]] std::vector<double> infra_hosts(core::Infra i) const {
+    return infra_hosts_[static_cast<std::size_t>(i)].average_series();
+  }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+ private:
+  BinnedSeries total_;
+  std::array<BinnedSeries, core::kInfraCount> infra_ops_;
+  std::array<BinnedSeries, core::kInfraCount> infra_hosts_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace ew::app

@@ -1,0 +1,30 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace ew {
+
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : epoch_ns_(steady_ns()) {}
+
+TimePoint RealClock::now() const { return (steady_ns() - epoch_ns_) / 1000; }
+
+void VirtualClock::advance(Duration d) {
+  if (d < 0) throw std::invalid_argument("VirtualClock::advance: negative duration");
+  now_ += d;
+}
+
+void VirtualClock::set(TimePoint t) {
+  if (t < now_) throw std::invalid_argument("VirtualClock::set: time moved backwards");
+  now_ = t;
+}
+
+}  // namespace ew

@@ -1,0 +1,72 @@
+// Clock abstractions for EveryWare.
+//
+// All toolkit components (RPC timeouts, forecasters, gossip polling,
+// schedulers) are written against the abstract Clock so the same protocol
+// code runs in real time over TCP sockets and in virtual time inside the
+// discrete-event Grid simulator (see src/sim/event_queue.hpp).
+//
+// Time is represented as microseconds in a signed 64-bit integer
+// (Duration/TimePoint). The paper's toolkit only assumed one-second clock
+// resolution (Section 5.1); we keep microseconds internally so the simulator
+// can order events precisely, and expose seconds-based helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace ew {
+
+/// Microsecond-resolution duration.
+using Duration = std::int64_t;
+/// Microseconds since an arbitrary epoch (simulation start or process start).
+using TimePoint = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+/// Convert a duration to floating-point seconds.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Convert floating-point seconds to a Duration (truncating).
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since this clock's epoch.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock.
+/// The epoch is the construction time of the clock.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  [[nodiscard]] TimePoint now() const override;
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+/// Manually-advanced time source used by the simulator and by unit tests.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimePoint start = 0) : now_(start) {}
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  /// Move time forward by `d` (must be non-negative).
+  void advance(Duration d);
+  /// Jump to an absolute time (must not move backwards).
+  void set(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace ew

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ew {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+Log::Sink& sink_storage() {
+  static Log::Sink sink;
+  return sink;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (auto& sink = sink_storage()) {
+    sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace ew

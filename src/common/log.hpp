@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The SC98 application shipped performance records to a dedicated logging
+// service (Section 3.1.3); that lives in src/core/logging_service.hpp. This
+// file is only the local diagnostic logger used by the toolkit itself.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ew {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration. Thread-safe.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Minimum level that will be emitted (default: kWarn, keeps tests quiet).
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replace the output sink (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ew
+
+#define EW_LOG(lvl_)                                                    \
+  if (static_cast<int>(lvl_) < static_cast<int>(::ew::Log::level())) { \
+  } else                                                                \
+    ::ew::detail::LogLine(lvl_)
+
+#define EW_DEBUG EW_LOG(::ew::LogLevel::kDebug)
+#define EW_INFO EW_LOG(::ew::LogLevel::kInfo)
+#define EW_WARN EW_LOG(::ew::LogLevel::kWarn)
+#define EW_ERROR EW_LOG(::ew::LogLevel::kError)

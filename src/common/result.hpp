@@ -1,0 +1,112 @@
+// Lightweight Result<T> for fallible operations on the network path.
+//
+// The paper's lingua franca treats communication failure as an expected,
+// frequent event (hosts are reclaimed, networks partition). Exceptions are
+// reserved for programming errors and API misuse; socket-level and protocol
+// failures travel through Result so the callers that must react to them
+// (retry, re-register, pick another server) handle them explicitly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ew {
+
+/// Failure categories surfaced by the networking and protocol layers.
+enum class Err {
+  kOk = 0,
+  kTimeout,       // operation did not complete within its (dynamic) time-out
+  kClosed,        // peer closed the connection / component deregistered
+  kRefused,       // connection refused / endpoint unreachable
+  kProtocol,      // malformed packet, bad magic, version mismatch
+  kUnavailable,   // resource reclaimed or infrastructure down
+  kRejected,      // request understood but denied (e.g. sanity check failed)
+  kInternal,      // OS error or invariant failure
+};
+
+/// Human-readable label for an error code.
+const char* err_name(Err e);
+
+/// Error value: a category plus free-form context.
+struct Error {
+  Err code = Err::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(err_name(code)) + (message.empty() ? "" : ": " + message);
+  }
+};
+
+inline const char* err_name(Err e) {
+  switch (e) {
+    case Err::kOk: return "ok";
+    case Err::kTimeout: return "timeout";
+    case Err::kClosed: return "closed";
+    case Err::kRefused: return "refused";
+    case Err::kProtocol: return "protocol";
+    case Err::kUnavailable: return "unavailable";
+    case Err::kRejected: return "rejected";
+    case Err::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Expected-like container: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+  Result(Err code, std::string msg = {}) : v_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value; throws std::logic_error if this holds an error.
+  T& value() {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Access the error; throws std::logic_error if this holds a value.
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<Error>(v_);
+  }
+  [[nodiscard]] Err code() const { return ok() ? Err::kOk : error().code; }
+
+  /// Value or a fallback if this holds an error.
+  T value_or(T fallback) const { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialisation for operations with no payload.
+class Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error error) : err_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+  Status(Err code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const { return err_.code == Err::kOk; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] Err code() const { return err_.code; }
+  [[nodiscard]] const Error& error() const { return err_; }
+  [[nodiscard]] std::string to_string() const { return ok() ? "ok" : err_.to_string(); }
+
+ private:
+  Error err_{Err::kOk, {}};
+};
+
+}  // namespace ew

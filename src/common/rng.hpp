@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be exactly reproducible from a seed, so we avoid
+// std::mt19937's implementation-defined distribution behaviour and implement
+// xoshiro256** (seeded through splitmix64) together with the distribution
+// helpers we need. All distribution code is ours, so a given seed produces
+// identical traces on every platform.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace ew {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with portable distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (inter-arrival times).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Normally distributed value (Box-Muller; one value per call for determinism).
+  double normal(double mean, double stddev) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Log-normal value parameterised by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Fork a statistically independent child generator (for per-host streams).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ew

@@ -1,0 +1,103 @@
+// Byte-order-safe serialization for the lingua franca.
+//
+// The paper deliberately avoided XDR "for fear that it would not be readily
+// available in all environments" (Section 2.1) and hand-rolled a portable
+// encoding instead. We do the same: all multi-byte integers are written
+// little-endian byte-by-byte, floats travel as IEEE-754 bit patterns, and
+// strings/blobs are length-prefixed. Reader performs strict bounds checking
+// so malformed packets from the wire can never read out of range.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ew {
+
+/// Raw byte buffer used throughout the messaging stack.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte buffer in a fixed wire format.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { append_le(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) UTF-8/opaque string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed (u32) opaque byte blob.
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Raw bytes with no length prefix (caller manages framing).
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a byte span. All accessors return Result so
+/// that truncated or malicious packets surface as Err::kProtocol, never UB.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int32_t> i32();
+  Result<std::int64_t> i64();
+  Result<double> f64();
+  Result<bool> boolean();
+  /// Length-prefixed string (rejects lengths beyond the remaining bytes).
+  Result<std::string> str();
+  /// Length-prefixed blob.
+  Result<Bytes> blob();
+  /// Exactly n raw bytes.
+  Result<Bytes> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> read_le();
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ew

@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ew {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  return mean_ == 0.0 ? 0.0 : stddev() / std::abs(mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SlidingWindow: zero capacity");
+}
+
+void SlidingWindow::add(double x) {
+  if (buf_.size() == capacity_) buf_.pop_front();
+  buf_.push_back(x);
+}
+
+double SlidingWindow::mean() const {
+  if (buf_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : buf_) s += v;
+  return s / static_cast<double>(buf_.size());
+}
+
+double SlidingWindow::median() const { return quantile(0.5); }
+
+double SlidingWindow::quantile(double q) const {
+  if (buf_.empty()) throw std::logic_error("SlidingWindow::quantile: empty window");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(buf_.begin(), buf_.end());
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(v.size())),
+                       static_cast<double>(v.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+BinnedSeries::BinnedSeries(TimePoint start, Duration bin_width, std::size_t num_bins)
+    : start_(start),
+      width_(bin_width),
+      sums_(num_bins, 0.0),
+      sample_sums_(num_bins, 0.0),
+      sample_counts_(num_bins, 0) {
+  if (bin_width <= 0) throw std::invalid_argument("BinnedSeries: non-positive bin width");
+  if (num_bins == 0) throw std::invalid_argument("BinnedSeries: zero bins");
+}
+
+void BinnedSeries::add(TimePoint t, double amount) {
+  if (t < start_) return;
+  const auto bin = static_cast<std::size_t>((t - start_) / width_);
+  if (bin >= sums_.size()) return;
+  sums_[bin] += amount;
+}
+
+void BinnedSeries::sample(TimePoint t, double value) {
+  if (t < start_) return;
+  const auto bin = static_cast<std::size_t>((t - start_) / width_);
+  if (bin >= sample_sums_.size()) return;
+  sample_sums_[bin] += value;
+  sample_counts_[bin] += 1;
+}
+
+TimePoint BinnedSeries::bin_start(std::size_t i) const {
+  return start_ + static_cast<Duration>(i) * width_;
+}
+
+double BinnedSeries::rate(std::size_t i) const {
+  return sums_.at(i) / to_seconds(width_);
+}
+
+double BinnedSeries::average(std::size_t i) const {
+  return sample_counts_.at(i) == 0
+             ? 0.0
+             : sample_sums_[i] / static_cast<double>(sample_counts_[i]);
+}
+
+std::vector<double> BinnedSeries::rate_series() const {
+  std::vector<double> out(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) out[i] = rate(i);
+  return out;
+}
+
+std::vector<double> BinnedSeries::average_series() const {
+  std::vector<double> out(sample_sums_.size());
+  for (std::size_t i = 0; i < sample_sums_.size(); ++i) out[i] = average(i);
+  return out;
+}
+
+void ErrorTracker::add(double predicted, double actual) {
+  ++n_;
+  const double e = predicted - actual;
+  abs_sum_ += std::abs(e);
+  sq_sum_ += e * e;
+}
+
+}  // namespace ew

@@ -1,0 +1,107 @@
+// Streaming statistics used by the forecasters, the dynamic-benchmarking
+// layer and the benchmark harnesses (5-minute-average series of Figs. 2-4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ew {
+
+/// Welford running mean/variance over a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity sliding window with O(n) quantile queries.
+/// Small windows only (forecasting uses <= a few hundred samples).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+  void add(double x);
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] double back() const { return buf_.back(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+  /// q in [0,1]; nearest-rank quantile. Requires non-empty window.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::deque<double>& values() const { return buf_; }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+};
+
+/// Accumulates (time, value) observations into fixed-width time bins and
+/// reports per-bin averages — exactly the "5 Minute Averages" of the paper's
+/// result figures. Values are rates contributed over the bin; `add` deposits
+/// an amount of work at a time, and `rate_series` divides by bin width.
+class BinnedSeries {
+ public:
+  BinnedSeries(TimePoint start, Duration bin_width, std::size_t num_bins);
+
+  /// Deposit `amount` (e.g. integer ops completed) at time t. Out-of-range
+  /// times are ignored.
+  void add(TimePoint t, double amount);
+
+  /// Record an instantaneous gauge sample (e.g. host count) at time t;
+  /// per-bin value is the average of samples in the bin.
+  void sample(TimePoint t, double value);
+
+  [[nodiscard]] std::size_t num_bins() const { return sums_.size(); }
+  [[nodiscard]] TimePoint bin_start(std::size_t i) const;
+  /// Sum deposited into bin i divided by bin width in seconds.
+  [[nodiscard]] double rate(std::size_t i) const;
+  /// Average of gauge samples in bin i (0 if none).
+  [[nodiscard]] double average(std::size_t i) const;
+  /// Full rate series.
+  [[nodiscard]] std::vector<double> rate_series() const;
+  /// Full gauge-average series.
+  [[nodiscard]] std::vector<double> average_series() const;
+
+ private:
+  TimePoint start_;
+  Duration width_;
+  std::vector<double> sums_;
+  std::vector<double> sample_sums_;
+  std::vector<std::uint64_t> sample_counts_;
+};
+
+/// Mean absolute error accumulator for forecaster scoring.
+class ErrorTracker {
+ public:
+  void add(double predicted, double actual);
+  [[nodiscard]] double mae() const { return n_ ? abs_sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double mse() const { return n_ ? sq_sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+};
+
+}  // namespace ew

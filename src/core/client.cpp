@@ -1,0 +1,194 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace ew::core {
+
+void RealWorkExecutor::reset(const ramsey::WorkSpec& spec) {
+  ramsey::HeuristicParams p;
+  p.n = spec.n;
+  p.k = spec.k;
+  p.seed = spec.seed;
+  heuristic_ = ramsey::make_heuristic(spec.kind, p, spec.resume);
+  unit_id_ = spec.unit_id;
+  k_ = spec.k;
+}
+
+ramsey::WorkReport RealWorkExecutor::execute(std::uint64_t ops_budget) {
+  ramsey::WorkReport rep;
+  rep.unit_id = unit_id_;
+  if (!heuristic_) return rep;
+  const ramsey::StepOutcome out = heuristic_->run(ops_budget);
+  rep.ops_done = out.ops_used;
+  rep.best_energy = heuristic_->best_energy();
+  rep.found = out.found || heuristic_->best_energy() == 0;
+  rep.best_graph = heuristic_->best().serialize();
+  return rep;
+}
+
+void ModeledWorkExecutor::reset(const ramsey::WorkSpec& spec) {
+  spec_ = spec;
+  rng_ = Rng(spec.seed ^ 0xabcdef12345ULL);
+  if (spec.resume) {
+    // Resumed units carry their progress in the coloring's red-edge count
+    // relative to a fresh random graph — we just continue the decay from a
+    // low starting energy to keep migration meaningful.
+    resume_blob_ = spec.resume->serialize();
+    energy_ = 40.0;
+  } else {
+    ramsey::ColoredGraph g = ramsey::ColoredGraph::random(spec.n, rng_);
+    resume_blob_ = g.serialize();
+    // Expected initial energy ~ 2 * C(n, k) / 2^(C(k,2)); for n=42,k=5 this
+    // is in the few-hundreds. Start there with spread.
+    energy_ = 300.0 * rng_.uniform(0.7, 1.3);
+  }
+}
+
+ramsey::WorkReport ModeledWorkExecutor::execute(std::uint64_t ops_budget) {
+  // Each 50M-op quantum shaves a few percent off the energy, with a floor
+  // well above zero: the SC98 run never found the R5 counter-example either.
+  const double quanta = static_cast<double>(ops_budget) / 5e7;
+  energy_ *= std::pow(0.985, quanta) * rng_.uniform(0.98, 1.02);
+  energy_ = std::max(energy_, 12.0);
+  ramsey::WorkReport rep;
+  rep.unit_id = spec_.unit_id;
+  rep.ops_done = ops_budget;
+  rep.best_energy = static_cast<std::uint64_t>(energy_);
+  rep.found = false;
+  rep.best_graph = resume_blob_;
+  return rep;
+}
+
+RamseyClient::RamseyClient(Node& node, std::unique_ptr<WorkExecutor> executor,
+                           Options opts)
+    : node_(node),
+      executor_(std::move(executor)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed) {}
+
+void RamseyClient::start() {
+  if (running_) return;
+  running_ = true;
+  const Duration sleep =
+      opts_.initial_sleep_max > 0
+          ? static_cast<Duration>(
+                rng_.below(static_cast<std::uint64_t>(opts_.initial_sleep_max)))
+          : 0;
+  work_timer_ = node_.executor().schedule(sleep, [this] { register_with(sched_index_); });
+}
+
+void RamseyClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  node_.executor().cancel(work_timer_);
+}
+
+void RamseyClient::register_with(std::size_t index) {
+  if (!running_ || opts_.schedulers.empty()) return;
+  const Endpoint target = opts_.schedulers[index % opts_.schedulers.size()];
+  ClientHello hello;
+  hello.client = node_.self();
+  hello.infra = opts_.infra;
+  hello.host = opts_.host_label;
+  ++registrations_;
+  const EventTag tag = EventTag::of(target, msgtype::kSchedRegister);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(target, msgtype::kSchedRegister, hello.serialize(),
+             timeouts_.timeout(tag), [this, tag, t0, index](Result<Bytes> r) {
+               if (!running_) return;
+               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+               if (!r.ok()) {
+                 sched_index_ = index + 1;  // fail over
+                 work_timer_ = node_.executor().schedule(
+                     opts_.retry_delay, [this] { register_with(sched_index_); });
+                 return;
+               }
+               auto d = Directive::deserialize(*r);
+               if (!d || !d->spec) {
+                 work_timer_ = node_.executor().schedule(
+                     opts_.retry_delay, [this] { register_with(sched_index_); });
+                 return;
+               }
+               sched_index_ = index;  // remember who owns us
+               begin_work(std::move(*d->spec));
+             });
+}
+
+void RamseyClient::begin_work(ramsey::WorkSpec spec) {
+  spec_ = std::move(spec);
+  executor_->reset(*spec_);
+  schedule_quantum();
+}
+
+void RamseyClient::schedule_quantum() {
+  if (!running_ || !spec_) return;
+  if (!opts_.simulated_time) {
+    // Real computation: run the quantum after a nominal tick so callers
+    // driving a virtual clock (run_for) always make progress.
+    work_timer_ =
+        node_.executor().schedule(1 * kSecond, [this] { finish_quantum(); });
+    return;
+  }
+  const double rate = opts_.rate_source ? opts_.rate_source() : 1e6;
+  if (rate <= 0.0) {
+    work_timer_ = node_.executor().schedule(opts_.idle_recheck,
+                                            [this] { schedule_quantum(); });
+    return;
+  }
+  work_timer_ = node_.executor().schedule(opts_.report_interval,
+                                          [this] { finish_quantum(); });
+}
+
+void RamseyClient::finish_quantum() {
+  if (!running_ || !spec_) return;
+  ++quanta_;
+  std::uint64_t budget = spec_->report_ops;
+  if (opts_.simulated_time) {
+    // Credit what the host actually delivered over the quantum, sampled at
+    // completion so load drops show up in the reported rate.
+    const double rate = opts_.rate_source ? opts_.rate_source() : 0.0;
+    budget = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(rate * to_seconds(opts_.report_interval)),
+        100'000);
+  }
+  ramsey::WorkReport rep = executor_->execute(budget);
+  if (rep.found) ++found_;
+  send_report(std::move(rep));
+}
+
+void RamseyClient::send_report(ramsey::WorkReport rep) {
+  const Endpoint target = opts_.schedulers[sched_index_ % opts_.schedulers.size()];
+  const EventTag tag = EventTag::of(target, msgtype::kSchedReport);
+  const TimePoint t0 = node_.executor().now();
+  const std::uint64_t ops = rep.ops_done;
+  ReportEnvelope env;
+  env.client = node_.self();
+  env.report = std::move(rep);
+  node_.call(target, msgtype::kSchedReport, env.serialize(), timeouts_.timeout(tag),
+             [this, tag, t0, ops](Result<Bytes> r) {
+               if (!running_) return;
+               timeouts_.on_result(tag, node_.executor().now() - t0,
+                                   r.ok() || r.code() == Err::kRejected);
+               if (!r.ok()) {
+                 // Scheduler lost or we are unknown to it: re-register
+                 // (rejection keeps the same scheduler; failure fails over).
+                 spec_.reset();
+                 if (r.code() != Err::kRejected) ++sched_index_;
+                 work_timer_ = node_.executor().schedule(
+                     opts_.retry_delay, [this] { register_with(sched_index_); });
+                 return;
+               }
+               ops_reported_ += ops;
+               auto d = Directive::deserialize(*r);
+               if (d && d->spec) {
+                 begin_work(std::move(*d->spec));
+               } else {
+                 schedule_quantum();
+               }
+             });
+}
+
+}  // namespace ew::core

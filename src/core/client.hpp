@@ -1,0 +1,124 @@
+// The computational client ("A" in paper Figure 1).
+//
+// Self-configuring by design (Section 5.1): a client starts knowing only the
+// well-known scheduler addresses, sleeps a randomized interval to avoid
+// presenting "an excessive instantaneous load to a particular EveryWare
+// scheduler upon startup" (Section 5.5 — the very sleep LSF punished),
+// registers, and from then on alternates compute quanta with progress
+// reports, following whatever directives come back. Scheduler failure makes
+// it fail over down the list and re-register.
+//
+// Compute is pluggable: RealWorkExecutor actually runs the Ramsey heuristics
+// (examples, tests, the §5.6 Java bench); ModeledWorkExecutor advances a
+// calibrated synthetic search (the 12-hour SC98 scenario, where running real
+// kernels for every simulated host would be absurd). Both produce identical
+// protocol behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "forecast/timeout.hpp"
+#include "net/node.hpp"
+#include "ramsey/heuristic.hpp"
+#include "ramsey/workunit.hpp"
+
+namespace ew::core {
+
+/// Strategy that turns an ops budget into search progress.
+class WorkExecutor {
+ public:
+  virtual ~WorkExecutor() = default;
+  /// Begin (or resume) the given unit.
+  virtual void reset(const ramsey::WorkSpec& spec) = 0;
+  /// Consume ~ops_budget operations; report what happened.
+  virtual ramsey::WorkReport execute(std::uint64_t ops_budget) = 0;
+};
+
+/// Runs the real heuristics from src/ramsey.
+class RealWorkExecutor final : public WorkExecutor {
+ public:
+  void reset(const ramsey::WorkSpec& spec) override;
+  ramsey::WorkReport execute(std::uint64_t ops_budget) override;
+
+ private:
+  std::unique_ptr<ramsey::Heuristic> heuristic_;
+  std::uint64_t unit_id_ = 0;
+  int k_ = 0;
+};
+
+/// Synthetic search progress for large simulated fleets: energy decays
+/// geometrically toward an asymptote with multiplicative noise; the resume
+/// coloring is a deterministic random graph (valid on the wire, never a
+/// counter-example claim).
+class ModeledWorkExecutor final : public WorkExecutor {
+ public:
+  void reset(const ramsey::WorkSpec& spec) override;
+  ramsey::WorkReport execute(std::uint64_t ops_budget) override;
+
+ private:
+  ramsey::WorkSpec spec_;
+  Rng rng_{1};
+  double energy_ = 0;
+  Bytes resume_blob_;
+};
+
+class RamseyClient {
+ public:
+  struct Options {
+    std::vector<Endpoint> schedulers;  // failover order
+    Infra infra = Infra::kUnix;
+    std::string host_label;
+    /// Deliverable ops/sec right now; <= 0 means the host is saturated and
+    /// the client should idle briefly. For simulated hosts this samples the
+    /// host's load process; for real runs it is a calibration constant.
+    std::function<double()> rate_source;
+    /// True (default): compute quanta take simulated time (ops / rate).
+    /// False: quanta run inline on the executor (real computation).
+    bool simulated_time = true;
+    /// Target cadence of progress reports ("each client periodically
+    /// reports computational progress", Section 3.1.1). In simulated time a
+    /// quantum is report_interval long and delivers rate * interval ops, so
+    /// a JIT browser and the Tera MTA both report on schedule.
+    Duration report_interval = 2 * kMinute;
+    Duration idle_recheck = 20 * kSecond;
+    Duration initial_sleep_max = 60 * kSecond;  // §5.5 randomized start sleep
+    Duration retry_delay = 10 * kSecond;
+    std::uint64_t seed = 1;
+  };
+
+  RamseyClient(Node& node, std::unique_ptr<WorkExecutor> executor, Options opts);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool has_work() const { return bool(spec_); }
+  [[nodiscard]] std::uint64_t quanta_completed() const { return quanta_; }
+  [[nodiscard]] std::uint64_t ops_reported() const { return ops_reported_; }
+  [[nodiscard]] std::uint64_t registrations() const { return registrations_; }
+  [[nodiscard]] std::uint64_t found_count() const { return found_; }
+
+ private:
+  void register_with(std::size_t index);
+  void begin_work(ramsey::WorkSpec spec);
+  void schedule_quantum();
+  void finish_quantum();
+  void send_report(ramsey::WorkReport rep);
+
+  Node& node_;
+  std::unique_ptr<WorkExecutor> executor_;
+  Options opts_;
+  AdaptiveTimeout timeouts_;
+  Rng rng_;
+  bool running_ = false;
+  std::size_t sched_index_ = 0;
+  std::optional<ramsey::WorkSpec> spec_;
+  std::uint64_t quanta_ = 0;
+  std::uint64_t ops_reported_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t found_ = 0;
+  TimerId work_timer_ = kInvalidTimer;
+};
+
+}  // namespace ew::core

@@ -1,0 +1,247 @@
+#include "core/persistent_state.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "ramsey/clique.hpp"
+
+namespace ew::core {
+
+namespace {
+
+/// Object names contain '/' and arbitrary text; file names are the
+/// hex-encoded name bytes (reversible, filesystem-safe).
+std::string hex_encode(const std::string& s) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+std::optional<std::string> hex_decode(const std::string& s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = nibble(s[i]);
+    const int lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+void PersistentStateManager::start() {
+  if (running_) return;
+  running_ = true;
+  if (!opts_.storage_dir.empty()) load_from_disk();
+  node_.handle(msgtype::kStateStore, [this](const IncomingMessage& m, Responder r) {
+    on_store(m, r);
+  });
+  node_.handle(msgtype::kStateFetch, [this](const IncomingMessage& m, Responder r) {
+    on_fetch(m, r);
+  });
+}
+
+void PersistentStateManager::stop() { running_ = false; }
+
+void PersistentStateManager::register_validator(std::string name_prefix,
+                                                Validator v) {
+  validators_[std::move(name_prefix)] = std::move(v);
+}
+
+Status PersistentStateManager::validate(const std::string& name,
+                                        const Bytes& body) const {
+  for (const auto& [prefix, v] : validators_) {
+    if (name.rfind(prefix, 0) == 0) {
+      if (Status s = v(name, body); !s.ok()) return s;
+    }
+  }
+  return {};
+}
+
+Status PersistentStateManager::store(const std::string& name,
+                                     const Bytes& versioned_blob) {
+  auto body = gossip::blob_body(versioned_blob);
+  if (!body) {
+    ++rejected_;
+    return Status(Err::kProtocol, "object is not a versioned blob");
+  }
+  if (Status s = validate(name, *body); !s.ok()) {
+    ++rejected_;
+    return s;
+  }
+  auto it = objects_.find(name);
+  if (it != objects_.end() &&
+      gossip::compare_by_version_prefix(versioned_blob, it->second) <= 0) {
+    // Idempotent no-op: re-storing equal-or-staler state is normal (several
+    // schedulers race to checkpoint the same best coloring).
+    ++stale_;
+    return {};
+  }
+  if (it == objects_.end() && objects_.size() >= opts_.max_objects) {
+    ++rejected_;
+    return Status(Err::kRejected, "object store full");
+  }
+  objects_[name] = versioned_blob;
+  ++accepted_;
+  if (!opts_.storage_dir.empty() && !loading_) write_through(name, versioned_blob);
+  return {};
+}
+
+void PersistentStateManager::write_through(const std::string& name,
+                                           const Bytes& blob) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opts_.storage_dir, ec);
+  const fs::path final_path =
+      fs::path(opts_.storage_dir) / (hex_encode(name) + ".obj");
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      EW_WARN << "persistent state: cannot write " << tmp_path.string();
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    EW_WARN << "persistent state: rename failed: " << ec.message();
+  }
+}
+
+void PersistentStateManager::load_from_disk() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::exists(opts_.storage_dir, ec)) return;
+  loading_ = true;
+  for (const auto& entry : fs::directory_iterator(opts_.storage_dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".obj") continue;
+    const auto name = hex_decode(entry.path().stem().string());
+    if (!name) {
+      EW_WARN << "persistent state: skipping undecodable file "
+              << entry.path().string();
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    Bytes blob((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    // Recovered objects pass through the same validation + freshness gate
+    // as network stores: a corrupted or tampered file is refused, not
+    // trusted because it came from "our" disk.
+    const auto accepted_before = accepted_;
+    if (Status s = store(*name, blob); !s.ok()) {
+      EW_WARN << "persistent state: rejecting recovered object '" << *name
+              << "': " << s.to_string();
+      continue;
+    }
+    if (accepted_ > accepted_before) ++recovered_;
+  }
+  loading_ = false;
+}
+
+std::optional<Bytes> PersistentStateManager::fetch(const std::string& name) const {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PersistentStateManager::on_store(const IncomingMessage& msg,
+                                      const Responder& resp) {
+  auto req = StoreRequest::deserialize(msg.packet.payload);
+  if (!req) {
+    resp.fail(Err::kProtocol, req.error().message);
+    return;
+  }
+  if (Status s = store(req->name, req->blob); !s.ok()) {
+    resp.fail(s.code(), s.error().message);
+    return;
+  }
+  resp.ok();
+}
+
+void PersistentStateManager::on_fetch(const IncomingMessage& msg,
+                                      const Responder& resp) {
+  Reader r(msg.packet.payload);
+  auto name = r.str();
+  if (!name) {
+    resp.fail(Err::kProtocol, "missing object name");
+    return;
+  }
+  auto blob = fetch(*name);
+  if (!blob) {
+    resp.fail(Err::kRejected, "no such object: " + *name);
+    return;
+  }
+  resp.ok(*blob);
+}
+
+Bytes make_best_graph_body(const Bytes& graph_blob, bool is_counterexample) {
+  Writer w;
+  w.boolean(is_counterexample);
+  w.blob(graph_blob);
+  return w.take();
+}
+
+std::string best_graph_name(int n, int k) {
+  return "ramsey/best/" + std::to_string(n) + "/" + std::to_string(k);
+}
+
+std::optional<BestGraphName> parse_best_graph_name(const std::string& name) {
+  const std::string prefix = "ramsey/best/";
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string rest = name.substr(prefix.size());
+  const auto slash = rest.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  try {
+    BestGraphName out;
+    out.n = std::stoi(rest.substr(0, slash));
+    out.k = std::stoi(rest.substr(slash + 1));
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+PersistentStateManager::Validator PersistentStateManager::ramsey_validator() {
+  return [](const std::string& name, const Bytes& body) -> Status {
+    const auto parsed = parse_best_graph_name(name);
+    if (!parsed) return Status(Err::kRejected, "malformed object name: " + name);
+    Reader r(body);
+    auto claims_counterexample = r.boolean();
+    if (!claims_counterexample) {
+      return Status(Err::kProtocol, "missing counter-example flag");
+    }
+    auto graph_blob = r.blob();
+    if (!graph_blob) return Status(Err::kProtocol, "missing graph blob");
+    auto g = ramsey::ColoredGraph::deserialize(*graph_blob);
+    if (!g) return Status(Err::kRejected, "undecodable graph: " + g.error().message);
+    if (g->order() != parsed->n) {
+      return Status(Err::kRejected, "graph order does not match object name");
+    }
+    if (*claims_counterexample && !ramsey::is_counterexample(*g, parsed->k)) {
+      // The paper's exact scenario: a client claims a counter-example; the
+      // manager independently re-checks before letting it touch disk.
+      return Status(Err::kRejected, "claimed counter-example has a mono K" +
+                                        std::to_string(parsed->k));
+    }
+    return {};
+  };
+}
+
+}  // namespace ew::core

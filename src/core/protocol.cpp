@@ -1,0 +1,148 @@
+#include "core/protocol.hpp"
+
+namespace ew::core {
+
+const char* infra_name(Infra i) {
+  switch (i) {
+    case Infra::kUnix: return "Unix";
+    case Infra::kGlobus: return "Globus";
+    case Infra::kLegion: return "Legion";
+    case Infra::kCondor: return "Condor";
+    case Infra::kNT: return "NT";
+    case Infra::kJava: return "Java";
+    case Infra::kNetSolve: return "Netsolve";
+  }
+  return "Unknown";
+}
+
+Bytes ClientHello::serialize() const {
+  Writer w;
+  gossip::write_endpoint(w, client);
+  w.u8(static_cast<std::uint8_t>(infra));
+  w.str(host);
+  return w.take();
+}
+
+Result<ClientHello> ClientHello::deserialize(const Bytes& data) {
+  Reader r(data);
+  ClientHello h;
+  auto ep = gossip::read_endpoint(r);
+  if (!ep) return ep.error();
+  h.client = std::move(*ep);
+  auto infra = r.u8();
+  if (!infra) return infra.error();
+  if (*infra >= kInfraCount) return Error{Err::kProtocol, "bad infra id"};
+  h.infra = static_cast<Infra>(*infra);
+  auto host = r.str();
+  if (!host) return host.error();
+  h.host = std::move(*host);
+  return h;
+}
+
+Bytes ReportEnvelope::serialize() const {
+  Writer w;
+  gossip::write_endpoint(w, client);
+  w.blob(report.serialize());
+  return w.take();
+}
+
+Result<ReportEnvelope> ReportEnvelope::deserialize(const Bytes& data) {
+  Reader r(data);
+  ReportEnvelope env;
+  auto ep = gossip::read_endpoint(r);
+  if (!ep) return ep.error();
+  env.client = std::move(*ep);
+  auto blob = r.blob();
+  if (!blob) return blob.error();
+  auto rep = ramsey::WorkReport::deserialize(*blob);
+  if (!rep) return rep.error();
+  env.report = std::move(*rep);
+  return env;
+}
+
+Bytes Directive::serialize() const {
+  Writer w;
+  if (spec) {
+    w.boolean(true);
+    w.blob(spec->serialize());
+  } else {
+    w.boolean(false);
+  }
+  return w.take();
+}
+
+Result<Directive> Directive::deserialize(const Bytes& data) {
+  Reader r(data);
+  Directive d;
+  auto has = r.boolean();
+  if (!has) return has.error();
+  if (*has) {
+    auto blob = r.blob();
+    if (!blob) return blob.error();
+    auto spec = ramsey::WorkSpec::deserialize(*blob);
+    if (!spec) return spec.error();
+    d.spec = std::move(*spec);
+  }
+  return d;
+}
+
+Bytes LogRecord::serialize() const {
+  Writer w;
+  w.i64(when);
+  gossip::write_endpoint(w, client);
+  w.u8(static_cast<std::uint8_t>(infra));
+  w.str(host);
+  w.u64(ops);
+  w.u64(best_energy);
+  w.boolean(found);
+  return w.take();
+}
+
+Result<LogRecord> LogRecord::deserialize(const Bytes& data) {
+  Reader r(data);
+  LogRecord rec;
+  auto when = r.i64();
+  if (!when) return when.error();
+  rec.when = *when;
+  auto ep = gossip::read_endpoint(r);
+  if (!ep) return ep.error();
+  rec.client = std::move(*ep);
+  auto infra = r.u8();
+  if (!infra) return infra.error();
+  if (*infra >= kInfraCount) return Error{Err::kProtocol, "bad infra id"};
+  rec.infra = static_cast<Infra>(*infra);
+  auto host = r.str();
+  if (!host) return host.error();
+  rec.host = std::move(*host);
+  auto ops = r.u64();
+  if (!ops) return ops.error();
+  rec.ops = *ops;
+  auto be = r.u64();
+  if (!be) return be.error();
+  rec.best_energy = *be;
+  auto found = r.boolean();
+  if (!found) return found.error();
+  rec.found = *found;
+  return rec;
+}
+
+Bytes StoreRequest::serialize() const {
+  Writer w;
+  w.str(name);
+  w.blob(blob);
+  return w.take();
+}
+
+Result<StoreRequest> StoreRequest::deserialize(const Bytes& data) {
+  Reader r(data);
+  StoreRequest s;
+  auto name = r.str();
+  if (!name) return name.error();
+  s.name = std::move(*name);
+  auto blob = r.blob();
+  if (!blob) return blob.error();
+  s.blob = std::move(*blob);
+  return s;
+}
+
+}  // namespace ew::core

@@ -1,0 +1,118 @@
+// Application-service wire protocol (paper Figure 1).
+//
+// Message types and codecs for the run-time management services the Ramsey
+// application is built from: scheduling servers ("S"), persistent state
+// managers ("P"), logging servers ("L"), plus the simulated-infrastructure
+// control services (GRAM/GASS/MDS, NetSolve agent, Legion translator).
+// Gossip/clique types live in gossip/protocol.hpp (0x01xx block).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "gossip/protocol.hpp"
+#include "net/packet.hpp"
+#include "ramsey/workunit.hpp"
+
+namespace ew::core {
+
+namespace msgtype {
+// Scheduler.
+constexpr MsgType kSchedRegister = 0x0201;  // client hello -> first work spec
+constexpr MsgType kSchedReport = 0x0202;    // progress report -> directive
+// Persistent state manager.
+constexpr MsgType kStateStore = 0x0210;
+constexpr MsgType kStateFetch = 0x0211;
+// Logging service (one-way).
+constexpr MsgType kLogRecord = 0x0220;
+// Simulated Globus services (Section 5.2).
+constexpr MsgType kGramSubmit = 0x0230;
+constexpr MsgType kGramAuth = 0x0231;
+constexpr MsgType kGassFetch = 0x0232;
+constexpr MsgType kMdsQuery = 0x0233;
+// Simulated NetSolve (Section 5.7).
+constexpr MsgType kNetSolveRegister = 0x0240;
+constexpr MsgType kNetSolveRequest = 0x0241;
+// Legion translator envelope (Section 5.3).
+constexpr MsgType kTranslate = 0x0250;
+}  // namespace msgtype
+
+// Gossip-synchronized state object types (Section 3.1.2's state classes).
+namespace statetype {
+// Persistent: the best (lowest-energy) coloring found so far.
+constexpr MsgType kBestGraph = 0x0301;
+// Volatile-but-replicated: "the up-to-date list of active servers".
+constexpr MsgType kServerList = 0x0302;
+}  // namespace statetype
+
+/// Infrastructure labels (paper Figures 3-4 series).
+enum class Infra : std::uint8_t {
+  kUnix = 0,
+  kGlobus = 1,
+  kLegion = 2,
+  kCondor = 3,
+  kNT = 4,
+  kJava = 5,
+  kNetSolve = 6,
+};
+constexpr int kInfraCount = 7;
+const char* infra_name(Infra i);
+
+/// Client identification sent with kSchedRegister.
+struct ClientHello {
+  Endpoint client;
+  Infra infra = Infra::kUnix;
+  std::string host;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<ClientHello> deserialize(const Bytes& data);
+};
+
+/// Progress report wrapper: carries the reporting client's own contact
+/// address because the transport-level sender may be an intermediary (the
+/// Legion translator object forwards its components' reports, Section 5.3).
+struct ReportEnvelope {
+  Endpoint client;
+  ramsey::WorkReport report;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<ReportEnvelope> deserialize(const Bytes& data);
+};
+
+/// Scheduler directive: what the client should work on next (absent spec
+/// means "keep doing what you are doing").
+struct Directive {
+  std::optional<ramsey::WorkSpec> spec;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<Directive> deserialize(const Bytes& data);
+};
+
+/// A performance record shipped to the logging service (Section 3.1.3:
+/// scheduler-side information is "forwarded to a logging server so that it
+/// can be recorded" before being discarded).
+struct LogRecord {
+  TimePoint when = 0;        // stamped by the reporter
+  Endpoint client;
+  Infra infra = Infra::kUnix;
+  std::string host;
+  std::uint64_t ops = 0;     // ops completed since the previous record
+  std::uint64_t best_energy = 0;
+  bool found = false;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<LogRecord> deserialize(const Bytes& data);
+};
+
+/// Persistent-state store request.
+struct StoreRequest {
+  std::string name;      // object name, e.g. "ramsey/best/17/4"
+  Bytes blob;            // versioned object content
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<StoreRequest> deserialize(const Bytes& data);
+};
+
+}  // namespace ew::core

@@ -1,0 +1,319 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/persistent_state.hpp"
+#include "gossip/state.hpp"
+
+namespace ew::core {
+
+SchedulerServer::SchedulerServer(Node& node, Options opts)
+    : node_(node), opts_(opts), pool_(opts.pool) {}
+
+void SchedulerServer::start() {
+  if (running_) return;
+  running_ = true;
+  pool_.set_kind_chooser(
+      [this](std::uint64_t unit_id) { return choose_kind(unit_id); });
+  node_.handle(msgtype::kSchedRegister,
+               [this](const IncomingMessage& m, Responder r) { on_register(m, r); });
+  node_.handle(msgtype::kSchedReport,
+               [this](const IncomingMessage& m, Responder r) { on_report(m, r); });
+  sweep_timer_ = node_.executor().schedule(opts_.sweep_period, [this] { sweep_tick(); });
+  migrate_timer_ =
+      node_.executor().schedule(opts_.migration_period, [this] { migrate_tick(); });
+  if (opts_.checkpoint_period > 0 && opts_.state_manager.valid()) {
+    restore_frontier();
+    checkpoint_timer_ = node_.executor().schedule(opts_.checkpoint_period,
+                                                  [this] { checkpoint_tick(); });
+  }
+}
+
+void SchedulerServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  node_.executor().cancel(sweep_timer_);
+  node_.executor().cancel(migrate_timer_);
+  node_.executor().cancel(checkpoint_timer_);
+}
+
+std::string SchedulerServer::checkpoint_name() const {
+  return "sched/frontier/" + node_.self().to_string();
+}
+
+void SchedulerServer::checkpoint_tick() {
+  if (!running_) return;
+  checkpoint_timer_ = node_.executor().schedule(opts_.checkpoint_period,
+                                                [this] { checkpoint_tick(); });
+  StoreRequest req;
+  req.name = checkpoint_name();
+  // Version by current time: monotonically fresher across restarts too.
+  req.blob = gossip::versioned_blob(
+      static_cast<std::uint64_t>(node_.executor().now()), pool_.export_frontier());
+  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateStore);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
+             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+               if (!running_) return;
+               timeouts_.on_result(tag, node_.executor().now() - t0,
+                                   r.ok() || r.code() == Err::kRejected);
+             });
+}
+
+void SchedulerServer::restore_frontier() {
+  Writer w;
+  w.str(checkpoint_name());
+  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateFetch);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(opts_.state_manager, msgtype::kStateFetch, w.take(),
+             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+               if (!running_) return;
+               timeouts_.on_result(tag, node_.executor().now() - t0,
+                                   r.ok() || r.code() == Err::kRejected);
+               if (!r.ok()) return;  // no checkpoint yet: fresh start
+               auto body = gossip::blob_body(*r);
+               if (!body) return;
+               const std::size_t n = pool_.import_frontier(*body);
+               restored_ += n;
+               if (n > 0) {
+                 EW_DEBUG << node_.self().to_string() << ": restored " << n
+                          << " frontier units from checkpoint";
+               }
+             });
+}
+
+void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& resp) {
+  auto hello = ClientHello::deserialize(msg.packet.payload);
+  if (!hello) {
+    resp.fail(Err::kProtocol, hello.error().message);
+    return;
+  }
+  // A re-registration from a client we thought was active means it lost its
+  // work (eviction, restart): reclaim the old unit first.
+  auto it = clients_.find(hello->client);
+  if (it != clients_.end() && it->second.unit_id != 0) {
+    pool_.release(it->second.unit_id);
+  }
+  ClientInfo info;
+  info.hello = std::move(*hello);
+  info.last_report = node_.executor().now();
+  const ramsey::WorkSpec spec = pool_.acquire();
+  info.unit_id = spec.unit_id;
+  clients_[info.hello.client] = std::move(info);
+  Directive d;
+  d.spec = spec;
+  resp.ok(d.serialize());
+}
+
+void SchedulerServer::on_report(const IncomingMessage& msg, const Responder& resp) {
+  auto env = ReportEnvelope::deserialize(msg.packet.payload);
+  if (!env) {
+    resp.fail(Err::kProtocol, env.error().message);
+    return;
+  }
+  const auto rep = &env->report;
+  auto it = clients_.find(env->client);
+  if (it == clients_.end()) {
+    // We do not know this client (scheduler restarted, or the client was
+    // swept). Make it re-register rather than guessing.
+    resp.fail(Err::kRejected, "unregistered client");
+    return;
+  }
+  ++reports_;
+  ClientInfo& info = it->second;
+  const TimePoint now = node_.executor().now();
+  const Duration gap = now - info.last_report;
+  info.last_report = now;
+  if (gap > 0) {
+    info.interval.observe(static_cast<double>(gap));
+    info.rate.observe(static_cast<double>(rep->ops_done) / to_seconds(gap));
+  }
+  // Progress accounting per heuristic kind, before the pool absorbs the
+  // report: the directive policy steers fresh units toward whichever
+  // algorithm has been buying the most energy reduction per op.
+  if (const auto kind = pool_.unit_kind(rep->unit_id)) {
+    const auto prev = pool_.best_energy(rep->unit_id);
+    KindStats& ks = kind_stats_[static_cast<std::size_t>(*kind)];
+    if (prev && rep->best_energy < *prev) {
+      ks.improvement += static_cast<double>(*prev - rep->best_energy);
+    }
+    ks.gops += static_cast<double>(rep->ops_done) / 1e9;
+  }
+  pool_.report(*rep);
+  note_best(rep->best_energy, rep->best_graph, rep->found);
+  forward_log(info, *rep);
+  if (rep->found) store_counterexample(*rep);
+
+  Directive d;
+  if (info.pending) {
+    d.spec = std::move(info.pending);
+    info.pending.reset();
+    info.unit_id = d.spec->unit_id;
+  }
+  resp.ok(d.serialize());
+}
+
+void SchedulerServer::forward_log(const ClientInfo& info,
+                                  const ramsey::WorkReport& rep) {
+  if (!opts_.logging.valid()) return;
+  LogRecord rec;
+  rec.when = node_.executor().now();
+  rec.client = info.hello.client;
+  rec.infra = info.hello.infra;
+  rec.host = info.hello.host;
+  rec.ops = rep.ops_done;
+  rec.best_energy = rep.best_energy;
+  rec.found = rep.found;
+  node_.send_oneway(opts_.logging, msgtype::kLogRecord, rec.serialize());
+}
+
+void SchedulerServer::store_counterexample(const ramsey::WorkReport& rep) {
+  if (!opts_.state_manager.valid() || rep.best_graph.empty()) return;
+  StoreRequest req;
+  req.name = best_graph_name(opts_.pool.n, opts_.pool.k);
+  req.blob = gossip::versioned_blob(~rep.best_energy,
+                                    make_best_graph_body(rep.best_graph, rep.found));
+  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateStore);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
+             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+               if (!running_) return;
+               timeouts_.on_result(tag, node_.executor().now() - t0,
+                                   r.ok() || r.code() == Err::kRejected);
+               if (r.ok()) ++found_stored_;
+             });
+}
+
+void SchedulerServer::note_best(std::uint64_t energy, const Bytes& graph_blob,
+                                bool found) {
+  if (graph_blob.empty() || energy >= best_energy_) return;
+  best_energy_ = energy;
+  ++best_version_;
+  Writer body;
+  body.u64(energy);
+  body.boolean(found);
+  body.blob(graph_blob);
+  // Version is the bitwise complement of energy: the gossip default
+  // version-prefix comparator then treats lower energy as fresher, with no
+  // cross-scheduler version coordination needed.
+  best_graph_ = gossip::versioned_blob(~energy, body.take());
+}
+
+Bytes SchedulerServer::best_graph_state() const {
+  if (best_graph_.empty()) {
+    return gossip::versioned_blob(0, {});  // "know nothing" placeholder
+  }
+  return best_graph_;
+}
+
+void SchedulerServer::apply_best_graph_state(const Bytes& blob) {
+  auto body = gossip::blob_body(blob);
+  if (!body || body->empty()) return;
+  Reader r(*body);
+  auto energy = r.u64();
+  if (!energy) return;
+  auto found = r.boolean();
+  if (!found) return;
+  auto graph = r.blob();
+  if (!graph) return;
+  if (*energy < best_energy_) {
+    best_energy_ = *energy;
+    best_graph_ = blob;
+  }
+}
+
+ramsey::HeuristicKind SchedulerServer::choose_kind(std::uint64_t unit_id) const {
+  // Epsilon-greedy over observed yield: every fourth unit explores a
+  // rotating kind; the rest run the best performer. Until every kind has
+  // meaningful spend, rotate so the comparison is fair.
+  if (unit_id % 4 == 0) {
+    return static_cast<ramsey::HeuristicKind>((unit_id / 4) % 3);
+  }
+  for (const auto& ks : kind_stats_) {
+    if (ks.gops < 1.0) return static_cast<ramsey::HeuristicKind>(unit_id % 3);
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < kind_stats_.size(); ++k) {
+    if (kind_stats_[k].yield() > kind_stats_[best].yield()) best = k;
+  }
+  return static_cast<ramsey::HeuristicKind>(best);
+}
+
+Duration SchedulerServer::overdue_threshold(const ClientInfo& info) const {
+  const Forecast f = info.interval.forecast();
+  if (f.samples < 2) return opts_.overdue_floor;
+  const auto d = static_cast<Duration>(opts_.overdue_factor * f.value);
+  return std::max(d, opts_.overdue_floor);
+}
+
+void SchedulerServer::sweep_tick() {
+  if (!running_) return;
+  const TimePoint now = node_.executor().now();
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (now - it->second.last_report > overdue_threshold(it->second)) {
+      // Presumed dead (reclaimed host, network partition, browser closed).
+      // Its unit goes back to the pool with whatever coloring it last
+      // reported — the work, unlike the process, survives.
+      pool_.release(it->second.unit_id);
+      ++presumed_dead_;
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sweep_timer_ = node_.executor().schedule(opts_.sweep_period, [this] { sweep_tick(); });
+}
+
+void SchedulerServer::migrate_tick() {
+  if (!running_) return;
+  migrate_timer_ =
+      node_.executor().schedule(opts_.migration_period, [this] { migrate_tick(); });
+  if (clients_.size() < 2) return;
+
+  // Forecast every client's rate; compute the median.
+  const TimePoint now = node_.executor().now();
+  std::vector<std::pair<double, Endpoint>> rates;
+  for (const auto& [ep, info] : clients_) {
+    const Forecast f = info.rate.forecast();
+    if (f.samples >= 2 && !info.pending) rates.emplace_back(f.value, ep);
+  }
+  if (rates.size() < 2) return;
+  std::sort(rates.begin(), rates.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double median = rates[rates.size() / 2].first;
+  const auto slow_it = std::find_if(rates.begin(), rates.end(), [&](const auto& r) {
+    return now - clients_.at(r.second).last_migration >= opts_.migration_cooldown;
+  });
+  if (slow_it == rates.end()) return;
+  const auto& [slow_rate, slow_ep] = *slow_it;
+  if (slow_rate >= opts_.migration_ratio * median) return;
+
+  ClientInfo& slow = clients_.at(slow_ep);
+  slow.last_migration = now;
+  const std::uint64_t unit = slow.unit_id;
+  if (!pool_.best_energy(unit)) return;  // no reported state to carry over
+
+  // "It may choose to migrate that client's current workload to a machine
+  // that it predicts will be faster": the fastest other client takes over
+  // the slow client's unit (resuming its coloring); the slow client gets a
+  // replacement stream at its next report.
+  for (auto rit = rates.rbegin(); rit != rates.rend(); ++rit) {
+    if (rit->second == slow_ep) continue;
+    ClientInfo& fast = clients_.at(rit->second);
+    pool_.release(unit);
+    auto spec = pool_.acquire_unit(unit);
+    if (!spec) return;
+    pool_.release(fast.unit_id);
+    fast.pending = std::move(*spec);
+    slow.pending = pool_.acquire();
+    slow.unit_id = slow.pending->unit_id;
+    ++migrations_;
+    EW_DEBUG << "scheduler: migrating unit " << unit << " from "
+             << slow_ep.to_string() << " to " << rit->second.to_string();
+    return;
+  }
+}
+
+}  // namespace ew::core

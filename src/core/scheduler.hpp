@@ -1,0 +1,125 @@
+// Scheduling servers (paper Sections 3.1.1, 5.4).
+//
+// "Each client periodically reports computational progress to a scheduling
+// server. Servers are programmed to issue different control directives based
+// on the type of algorithm the client is executing, how much progress the
+// client has made, and the most recent computational rate of the client.
+// The scheduling servers are also responsible for migrating work based on
+// forecasts of available resource performance levels. ... Rather than basing
+// that prediction solely on the last performance measurement for each
+// client, the scheduler uses the NWS lightweight forecasting facilities."
+//
+// Per-client state here is soft (schedulers are "stateless" in the paper's
+// sense: a killed scheduler loses nothing a client re-registration cannot
+// rebuild), so schedulers can run inside volatile pools — the Section 5.4
+// ablation toggles exactly that.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "core/protocol.hpp"
+#include "core/work_pool.hpp"
+#include "forecast/selector.hpp"
+#include "forecast/timeout.hpp"
+#include "net/node.hpp"
+
+namespace ew::core {
+
+class SchedulerServer {
+ public:
+  struct Options {
+    Endpoint logging;               // logging server (one-way records)
+    Endpoint state_manager;         // persistent state manager
+    WorkPool::Options pool;
+    Duration sweep_period = 30 * kSecond;
+    double overdue_factor = 5.0;    // multiples of forecast report interval
+    Duration overdue_floor = 2 * kMinute;  // before forecasts warm up
+    Duration migration_period = 60 * kSecond;
+    double migration_ratio = 0.25;  // slow if forecast < ratio * pool median
+    /// A client's workload is moved at most once per cooldown — permanently
+    /// slow resources (interpreted Java applets) must not thrash the pool.
+    Duration migration_cooldown = 30 * kMinute;
+    /// Frontier checkpoint cadence to the persistent state manager (the
+    /// scheduler's soft state rebuilds from re-registrations, but search
+    /// progress must survive a restart). 0 disables.
+    Duration checkpoint_period = 5 * kMinute;
+  };
+
+  SchedulerServer(Node& node, Options opts);
+
+  void start();
+  void stop();
+
+  /// The best (lowest-energy) coloring this scheduler has seen, as a
+  /// versioned gossip blob — exposed to the Gossip service by the app
+  /// assembly so every scheduler converges on the global best.
+  [[nodiscard]] Bytes best_graph_state() const;
+  void apply_best_graph_state(const Bytes& blob);
+
+  [[nodiscard]] std::size_t active_clients() const { return clients_.size(); }
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_; }
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t clients_presumed_dead() const { return presumed_dead_; }
+  [[nodiscard]] std::uint64_t counterexamples_stored() const { return found_stored_; }
+  [[nodiscard]] std::uint64_t frontier_units_restored() const { return restored_; }
+  [[nodiscard]] const WorkPool& pool() const { return pool_; }
+
+  /// Per-heuristic progress accounting behind the directive policy: energy
+  /// improvement delivered per billion ops, by heuristic kind.
+  struct KindStats {
+    double improvement = 0;  // total energy reduction observed
+    double gops = 0;         // billions of ops spent
+    [[nodiscard]] double yield() const { return gops > 0 ? improvement / gops : 0; }
+  };
+  [[nodiscard]] const std::array<KindStats, 3>& kind_stats() const {
+    return kind_stats_;
+  }
+
+ private:
+  struct ClientInfo {
+    ClientHello hello;
+    std::uint64_t unit_id = 0;
+    TimePoint last_report = 0;
+    AdaptiveForecaster rate{AdaptiveForecaster::nws_default()};      // ops/sec
+    AdaptiveForecaster interval{AdaptiveForecaster::nws_default()};  // us between reports
+    std::optional<ramsey::WorkSpec> pending;  // directive for next report
+    TimePoint last_migration = 0;
+  };
+
+  void on_register(const IncomingMessage& msg, const Responder& resp);
+  void on_report(const IncomingMessage& msg, const Responder& resp);
+  void sweep_tick();
+  void migrate_tick();
+  void checkpoint_tick();
+  void restore_frontier();
+  [[nodiscard]] std::string checkpoint_name() const;
+  void forward_log(const ClientInfo& info, const ramsey::WorkReport& rep);
+  void store_counterexample(const ramsey::WorkReport& rep);
+  void note_best(std::uint64_t energy, const Bytes& graph_blob, bool found);
+  [[nodiscard]] Duration overdue_threshold(const ClientInfo& info) const;
+  [[nodiscard]] ramsey::HeuristicKind choose_kind(std::uint64_t unit_id) const;
+
+  Node& node_;
+  Options opts_;
+  WorkPool pool_;
+  AdaptiveTimeout timeouts_;
+  std::unordered_map<Endpoint, ClientInfo, EndpointHash> clients_;
+  bool running_ = false;
+  std::uint64_t reports_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t presumed_dead_ = 0;
+  std::uint64_t found_stored_ = 0;
+  std::uint64_t restored_ = 0;
+  // Gossip-synchronized best coloring (version = improvement counter).
+  std::uint64_t best_version_ = 0;
+  std::uint64_t best_energy_ = ~0ULL;
+  Bytes best_graph_;
+  std::array<KindStats, 3> kind_stats_{};
+  TimerId sweep_timer_ = kInvalidTimer;
+  TimerId migrate_timer_ = kInvalidTimer;
+  TimerId checkpoint_timer_ = kInvalidTimer;
+};
+
+}  // namespace ew::core

@@ -1,0 +1,167 @@
+#include "core/work_pool.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ew::core {
+
+WorkPool::WorkPool(Options opts) : opts_(opts) {}
+
+ramsey::WorkSpec WorkPool::spec_for(std::uint64_t id, const Unit& u) const {
+  ramsey::WorkSpec s;
+  s.unit_id = id;
+  s.n = opts_.n;
+  s.k = opts_.k;
+  s.kind = u.kind;
+  s.seed = opts_.seed_base * 0x9e3779b9ULL + id;
+  s.report_ops = opts_.report_ops;
+  if (!u.resume.empty()) {
+    auto g = ramsey::ColoredGraph::deserialize(u.resume);
+    if (g) s.resume = std::move(*g);
+  }
+  return s;
+}
+
+ramsey::WorkSpec WorkPool::acquire() {
+  // Most promising idle frontier unit first.
+  std::uint64_t best_id = 0;
+  std::uint64_t best_e = ~0ULL;
+  for (const auto& [id, u] : units_) {
+    if (u.assigned || u.resume.empty()) continue;
+    if (u.best_energy < best_e) {
+      best_e = u.best_energy;
+      best_id = id;
+    }
+  }
+  if (best_id != 0) {
+    auto& u = units_[best_id];
+    u.assigned = true;
+    return spec_for(best_id, u);
+  }
+  const std::uint64_t id = next_id_++;
+  Unit u;
+  u.seed = opts_.seed_base + id;
+  u.assigned = true;
+  // Default: rotate heuristics so all three stay in play.
+  u.kind = chooser_ ? chooser_(id) : static_cast<ramsey::HeuristicKind>(id % 3);
+  auto [it, _] = units_.emplace(id, std::move(u));
+  return spec_for(id, it->second);
+}
+
+std::optional<ramsey::WorkSpec> WorkPool::acquire_unit(std::uint64_t unit_id) {
+  auto it = units_.find(unit_id);
+  if (it == units_.end() || it->second.assigned) return std::nullopt;
+  it->second.assigned = true;
+  return spec_for(unit_id, it->second);
+}
+
+void WorkPool::report(const ramsey::WorkReport& rep) {
+  auto it = units_.find(rep.unit_id);
+  if (it == units_.end()) return;
+  if (rep.best_energy < it->second.best_energy) {
+    it->second.best_energy = rep.best_energy;
+  }
+  if (!rep.best_graph.empty()) it->second.resume = rep.best_graph;
+}
+
+void WorkPool::release(std::uint64_t unit_id) {
+  auto it = units_.find(unit_id);
+  if (it == units_.end()) return;
+  it->second.assigned = false;
+  if (it->second.resume.empty()) {
+    // Never reported: nothing worth resuming; forget it entirely.
+    units_.erase(it);
+  } else {
+    trim_idle();
+  }
+}
+
+bool WorkPool::assigned(std::uint64_t unit_id) const {
+  auto it = units_.find(unit_id);
+  return it != units_.end() && it->second.assigned;
+}
+
+std::optional<ramsey::HeuristicKind> WorkPool::unit_kind(std::uint64_t unit_id) const {
+  auto it = units_.find(unit_id);
+  if (it == units_.end()) return std::nullopt;
+  return it->second.kind;
+}
+
+std::optional<std::uint64_t> WorkPool::best_energy(std::uint64_t unit_id) const {
+  auto it = units_.find(unit_id);
+  if (it == units_.end() || it->second.best_energy == ~0ULL) return std::nullopt;
+  return it->second.best_energy;
+}
+
+std::size_t WorkPool::idle_frontier_size() const {
+  std::size_t n = 0;
+  for (const auto& [id, u] : units_) {
+    if (!u.assigned && !u.resume.empty()) ++n;
+  }
+  return n;
+}
+
+Bytes WorkPool::export_frontier() const {
+  Writer w;
+  std::uint32_t count = 0;
+  for (const auto& [id, u] : units_) {
+    if (!u.resume.empty()) ++count;
+  }
+  w.u32(count);
+  for (const auto& [id, u] : units_) {
+    if (u.resume.empty()) continue;
+    w.u64(id);
+    w.u64(u.seed);
+    w.u8(static_cast<std::uint8_t>(u.kind));
+    w.u64(u.best_energy);
+    w.blob(u.resume);
+  }
+  return w.take();
+}
+
+std::size_t WorkPool::import_frontier(const Bytes& blob) {
+  Reader r(blob);
+  auto count = r.u32();
+  if (!count || *count > 100'000) return 0;
+  std::size_t imported = 0;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.u64();
+    auto seed = r.u64();
+    auto kind = r.u8();
+    auto energy = r.u64();
+    auto resume = r.blob();
+    if (!id || !seed || !kind || !energy || !resume) break;
+    if (*kind > static_cast<std::uint8_t>(ramsey::HeuristicKind::kAnneal)) continue;
+    // Resume blobs must still decode as valid graphs of our order.
+    auto g = ramsey::ColoredGraph::deserialize(*resume);
+    if (!g || g->order() != opts_.n) continue;
+    if (units_.contains(*id)) continue;  // live unit wins over checkpoint
+    Unit u;
+    u.seed = *seed;
+    u.kind = static_cast<ramsey::HeuristicKind>(*kind);
+    u.best_energy = *energy;
+    u.resume = std::move(*resume);
+    u.assigned = false;
+    units_.emplace(*id, std::move(u));
+    next_id_ = std::max(next_id_, *id + 1);
+    ++imported;
+  }
+  trim_idle();
+  return imported;
+}
+
+void WorkPool::trim_idle() {
+  // Keep the bounded "file system footprint" discipline of Section 3.1.2:
+  // drop the *worst* idle units beyond the cap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> idle;  // (energy, id)
+  for (const auto& [id, u] : units_) {
+    if (!u.assigned && !u.resume.empty()) idle.emplace_back(u.best_energy, id);
+  }
+  if (idle.size() <= opts_.max_idle_frontier) return;
+  std::sort(idle.begin(), idle.end());
+  for (std::size_t i = opts_.max_idle_frontier; i < idle.size(); ++i) {
+    units_.erase(idle[i].second);
+  }
+}
+
+}  // namespace ew::core

@@ -1,0 +1,88 @@
+// The scheduler's work pool.
+//
+// The Ramsey search space is unbounded (fresh heuristic streams are minted
+// from new seeds at will) but not uniform: units that have already reached a
+// low energy are "frontier" units worth keeping on fast machines. The pool
+// tracks every unit ever issued, its best energy, and — crucial for the
+// paper's migration story — the latest coloring reported for it, so that a
+// unit reclaimed from a slow or dead client resumes on another machine
+// instead of restarting (Section 3.1.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "ramsey/workunit.hpp"
+
+namespace ew::core {
+
+class WorkPool {
+ public:
+  struct Options {
+    int n = 42;  // SC98 target: counter-examples for R5 on 42+ vertices
+    int k = 5;
+    std::uint64_t report_ops = 50'000'000;
+    std::uint64_t seed_base = 0x5c98;
+    std::size_t max_idle_frontier = 256;  // bound on retained unassigned units
+  };
+
+  explicit WorkPool(Options opts);
+
+  /// Hand out a unit: the most promising idle frontier unit, else a fresh one.
+  ramsey::WorkSpec acquire();
+
+  /// Install the heuristic chooser for fresh units. Default: rotate the
+  /// three kinds by unit id. The scheduler replaces this with its
+  /// progress-driven policy ("servers are programmed to issue different
+  /// control directives based on the type of algorithm", Section 3.1.1).
+  using KindChooser = std::function<ramsey::HeuristicKind(std::uint64_t unit_id)>;
+  void set_kind_chooser(KindChooser chooser) { chooser_ = std::move(chooser); }
+
+  /// Re-issue a specific idle unit (scheduler migration path). Returns
+  /// nullopt if the unit is unknown or already assigned.
+  std::optional<ramsey::WorkSpec> acquire_unit(std::uint64_t unit_id);
+
+  /// Record a progress report for a unit (updates energy + resume state).
+  void report(const ramsey::WorkReport& rep);
+
+  /// The unit's client died or was preempted: make the unit reassignable.
+  void release(std::uint64_t unit_id);
+
+  [[nodiscard]] bool assigned(std::uint64_t unit_id) const;
+  [[nodiscard]] std::optional<std::uint64_t> best_energy(std::uint64_t unit_id) const;
+  [[nodiscard]] std::optional<ramsey::HeuristicKind> unit_kind(std::uint64_t unit_id) const;
+  [[nodiscard]] std::size_t idle_frontier_size() const;
+  [[nodiscard]] std::size_t units_issued() const { return next_id_ - 1; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Checkpoint: every unit that has a resume coloring (assigned or idle),
+  /// wire-encoded for the persistent state manager. A restarted scheduler
+  /// imports this and re-issues the search from where it was, instead of
+  /// from fresh random colorings — the soft state is soft, the *work* is
+  /// not (Section 3.1.2's persistent class).
+  [[nodiscard]] Bytes export_frontier() const;
+  /// Merge a checkpoint: unknown units come back as idle, reassignable
+  /// frontier entries. Returns the number of units imported.
+  std::size_t import_frontier(const Bytes& blob);
+
+ private:
+  struct Unit {
+    std::uint64_t seed = 0;
+    std::uint64_t best_energy = ~0ULL;  // unknown until first report
+    bool assigned = false;
+    ramsey::HeuristicKind kind = ramsey::HeuristicKind::kGreedy;
+    Bytes resume;  // latest serialized coloring; empty = restart from seed
+  };
+
+  ramsey::WorkSpec spec_for(std::uint64_t id, const Unit& u) const;
+  void trim_idle();
+
+  Options opts_;
+  std::uint64_t next_id_ = 1;
+  KindChooser chooser_;
+  std::map<std::uint64_t, Unit> units_;
+};
+
+}  // namespace ew::core

@@ -1,0 +1,19 @@
+#include "forecast/dynamic_benchmark.hpp"
+
+namespace ew {
+
+void EventForecasterBank::record(const EventTag& tag, double value) {
+  auto it = bank_.find(tag);
+  if (it == bank_.end()) {
+    it = bank_.emplace(tag, AdaptiveForecaster::nws_default()).first;
+  }
+  it->second.observe(value);
+}
+
+Forecast EventForecasterBank::forecast(const EventTag& tag) const {
+  auto it = bank_.find(tag);
+  if (it == bank_.end()) return Forecast{};
+  return it->second.forecast();
+}
+
+}  // namespace ew

@@ -1,0 +1,90 @@
+// Dynamic benchmarking (paper Section 2.2).
+//
+// "Our strategy was to manually instrument the various EveryWare components
+// and application modules with timing primitives, and then passing the
+// timing information to the forecasting modules to make predictions."
+//
+// An EventTag identifies a repetitive program event — the paper used
+// (address where the request was serviced, message type of the request).
+// EventForecasterBank keeps one AdaptiveForecaster per tag; ScopedEventTimer
+// is the timing primitive that feeds it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "forecast/selector.hpp"
+#include "net/endpoint.hpp"
+#include "net/packet.hpp"
+
+namespace ew {
+
+/// Identifier for a benchmarked program event: where it was serviced plus
+/// what kind of request it was.
+struct EventTag {
+  std::string address;  // server contact address (Endpoint::to_string())
+  MsgType type = 0;
+
+  static EventTag of(const Endpoint& server, MsgType type) {
+    return EventTag{server.to_string(), type};
+  }
+  [[nodiscard]] std::string to_string() const {
+    return address + "/" + std::to_string(type);
+  }
+  friend bool operator==(const EventTag&, const EventTag&) = default;
+};
+
+struct EventTagHash {
+  std::size_t operator()(const EventTag& t) const {
+    return std::hash<std::string>{}(t.address) * 1000003u ^ t.type;
+  }
+};
+
+/// One adaptive forecaster per tagged event stream.
+class EventForecasterBank {
+ public:
+  /// Record a measurement (e.g. a request/response round-trip, in
+  /// microseconds) for the event.
+  void record(const EventTag& tag, double value);
+
+  /// Forecast for the event; Forecast::samples == 0 means never measured.
+  [[nodiscard]] Forecast forecast(const EventTag& tag) const;
+
+  [[nodiscard]] std::size_t tracked_events() const { return bank_.size(); }
+  [[nodiscard]] bool knows(const EventTag& tag) const { return bank_.contains(tag); }
+
+ private:
+  std::unordered_map<EventTag, AdaptiveForecaster, EventTagHash> bank_;
+};
+
+/// RAII timing primitive: measures the time from construction to finish()
+/// (or destruction) on the supplied clock and records it in the bank.
+class ScopedEventTimer {
+ public:
+  ScopedEventTimer(EventForecasterBank& bank, const Clock& clock, EventTag tag)
+      : bank_(bank), clock_(clock), tag_(std::move(tag)), start_(clock.now()) {}
+  ~ScopedEventTimer() { finish(); }
+  ScopedEventTimer(const ScopedEventTimer&) = delete;
+  ScopedEventTimer& operator=(const ScopedEventTimer&) = delete;
+
+  /// Record now; subsequent finish()/destruction does nothing.
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    bank_.record(tag_, static_cast<double>(clock_.now() - start_));
+  }
+  /// Abandon the measurement (event failed; do not pollute the stream).
+  void dismiss() { done_ = true; }
+
+ private:
+  EventForecasterBank& bank_;
+  const Clock& clock_;
+  EventTag tag_;
+  TimePoint start_;
+  bool done_ = false;
+};
+
+}  // namespace ew

@@ -1,0 +1,101 @@
+#include "forecast/forecaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ew {
+
+TrimmedMean::TrimmedMean(std::size_t window, double trim)
+    : win_(window), window_(window), trim_(std::clamp(trim, 0.0, 0.45)) {}
+
+std::string TrimmedMean::name() const {
+  return "trim_mean(" + std::to_string(window_) + "," +
+         std::to_string(static_cast<int>(trim_ * 100)) + "%)";
+}
+
+double TrimmedMean::predict() const {
+  if (win_.empty()) return 0.0;
+  std::vector<double> v(win_.values().begin(), win_.values().end());
+  std::sort(v.begin(), v.end());
+  const auto cut = static_cast<std::size_t>(trim_ * static_cast<double>(v.size()));
+  const std::size_t lo = cut;
+  const std::size_t hi = v.size() - cut;
+  if (lo >= hi) return v[v.size() / 2];
+  double s = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) s += v[i];
+  return s / static_cast<double>(hi - lo);
+}
+
+std::string ExpSmooth::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "exp(%.2f)", gain_);
+  return buf;
+}
+
+AdaptiveExpSmooth::AdaptiveExpSmooth(double initial_gain, double min_gain,
+                                     double max_gain)
+    : gain_(std::clamp(initial_gain, min_gain, max_gain)),
+      min_gain_(min_gain),
+      max_gain_(max_gain) {}
+
+void AdaptiveExpSmooth::observe(double v) {
+  if (!seeded_) {
+    value_ = v;
+    seeded_ = true;
+    return;
+  }
+  const double err = v - value_;
+  // Trigg-Leach tracking signal: |smoothed error| / smoothed |error|.
+  constexpr double kBeta = 0.2;
+  smoothed_err_ = kBeta * err + (1.0 - kBeta) * smoothed_err_;
+  smoothed_abs_err_ = kBeta * std::abs(err) + (1.0 - kBeta) * smoothed_abs_err_;
+  if (smoothed_abs_err_ > 1e-12) {
+    gain_ = std::clamp(std::abs(smoothed_err_ / smoothed_abs_err_), min_gain_,
+                       max_gain_);
+  }
+  value_ = gain_ * v + (1.0 - gain_) * value_;
+}
+
+double TrendForecaster::predict() const {
+  const auto& vals = win_.values();
+  const std::size_t n = vals.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return vals.back();
+  // Least-squares fit of value against index; extrapolate one step.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t i = 0;
+  for (double v : vals) {
+    const auto x = static_cast<double>(i++);
+    sx += x;
+    sy += v;
+    sxx += x * x;
+    sxy += x * v;
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return sy / dn;
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+  return intercept + slope * dn;  // next index is n
+}
+
+std::vector<std::unique_ptr<Forecaster>> default_battery() {
+  std::vector<std::unique_ptr<Forecaster>> b;
+  b.push_back(std::make_unique<LastValue>());
+  b.push_back(std::make_unique<RunningMean>());
+  b.push_back(std::make_unique<SlidingMean>(5));
+  b.push_back(std::make_unique<SlidingMean>(10));
+  b.push_back(std::make_unique<SlidingMean>(30));
+  b.push_back(std::make_unique<SlidingMedian>(5));
+  b.push_back(std::make_unique<SlidingMedian>(15));
+  b.push_back(std::make_unique<SlidingMedian>(31));
+  b.push_back(std::make_unique<TrimmedMean>(30, 0.3));
+  b.push_back(std::make_unique<ExpSmooth>(0.05));
+  b.push_back(std::make_unique<ExpSmooth>(0.2));
+  b.push_back(std::make_unique<ExpSmooth>(0.5));
+  b.push_back(std::make_unique<AdaptiveExpSmooth>());
+  b.push_back(std::make_unique<TrendForecaster>(10));
+  return b;
+}
+
+}  // namespace ew

@@ -1,0 +1,158 @@
+// NWS-style time-series forecasting methods (paper Section 2.2).
+//
+// The Network Weather Service applies "a set of light-weight time series
+// forecasting methods" to each measurement stream and dynamically selects
+// whichever has been most accurate (selector.hpp). This file implements the
+// method battery: each Forecaster consumes observations one at a time and
+// produces a prediction of the next value in O(1)–O(window) time, because at
+// SC98 forecasts were made inline on every request/response event.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ew {
+
+/// One forecasting method over a scalar measurement stream.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  /// Stable identifier used in logs and EXPERIMENTS.md tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Incorporate the next observed value.
+  virtual void observe(double value) = 0;
+  /// Prediction of the next value. Before any observation, returns 0.
+  [[nodiscard]] virtual double predict() const = 0;
+};
+
+/// Predicts the most recent observation ("LAST" in NWS).
+class LastValue final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "last"; }
+  void observe(double v) override { last_ = v; }
+  [[nodiscard]] double predict() const override { return last_; }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Running mean over the entire history ("RUN_AVG").
+class RunningMean final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "run_avg"; }
+  void observe(double v) override { stats_.add(v); }
+  [[nodiscard]] double predict() const override { return stats_.mean(); }
+
+ private:
+  RunningStats stats_;
+};
+
+/// Mean over the trailing `window` observations ("SW_AVG(k)").
+class SlidingMean final : public Forecaster {
+ public:
+  explicit SlidingMean(std::size_t window) : win_(window), window_(window) {}
+  [[nodiscard]] std::string name() const override {
+    return "sw_avg(" + std::to_string(window_) + ")";
+  }
+  void observe(double v) override { win_.add(v); }
+  [[nodiscard]] double predict() const override { return win_.mean(); }
+
+ private:
+  SlidingWindow win_;
+  std::size_t window_;
+};
+
+/// Median over the trailing `window` observations ("MEDIAN(k)").
+/// Robust to the load spikes that dominated SC98 response times.
+class SlidingMedian final : public Forecaster {
+ public:
+  explicit SlidingMedian(std::size_t window) : win_(window), window_(window) {}
+  [[nodiscard]] std::string name() const override {
+    return "median(" + std::to_string(window_) + ")";
+  }
+  void observe(double v) override { win_.add(v); }
+  [[nodiscard]] double predict() const override {
+    return win_.empty() ? 0.0 : win_.median();
+  }
+
+ private:
+  SlidingWindow win_;
+  std::size_t window_;
+};
+
+/// Trimmed mean: drop the top/bottom `trim` fraction, average the rest.
+class TrimmedMean final : public Forecaster {
+ public:
+  TrimmedMean(std::size_t window, double trim);
+  [[nodiscard]] std::string name() const override;
+  void observe(double v) override { win_.add(v); }
+  [[nodiscard]] double predict() const override;
+
+ private:
+  SlidingWindow win_;
+  std::size_t window_;
+  double trim_;
+};
+
+/// Exponential smoothing with fixed gain ("EXP_SMOOTH(g)").
+class ExpSmooth final : public Forecaster {
+ public:
+  explicit ExpSmooth(double gain) : gain_(gain) {}
+  [[nodiscard]] std::string name() const override;
+  void observe(double v) override {
+    value_ = seeded_ ? gain_ * v + (1.0 - gain_) * value_ : v;
+    seeded_ = true;
+  }
+  [[nodiscard]] double predict() const override { return value_; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Exponential smoothing whose gain adapts: when the forecast is doing badly
+/// the gain grows (track faster), when it is doing well the gain shrinks
+/// (smooth harder) — the NWS "adaptive gain" trick.
+class AdaptiveExpSmooth final : public Forecaster {
+ public:
+  AdaptiveExpSmooth(double initial_gain = 0.2, double min_gain = 0.05,
+                    double max_gain = 0.95);
+  [[nodiscard]] std::string name() const override { return "adapt_exp"; }
+  void observe(double v) override;
+  [[nodiscard]] double predict() const override { return value_; }
+  [[nodiscard]] double gain() const { return gain_; }
+
+ private:
+  double gain_;
+  double min_gain_;
+  double max_gain_;
+  double value_ = 0.0;
+  double smoothed_err_ = 0.0;
+  double smoothed_abs_err_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Linear trend over the trailing window (least-squares slope extrapolation).
+class TrendForecaster final : public Forecaster {
+ public:
+  explicit TrendForecaster(std::size_t window) : win_(window), window_(window) {}
+  [[nodiscard]] std::string name() const override {
+    return "trend(" + std::to_string(window_) + ")";
+  }
+  void observe(double v) override { win_.add(v); }
+  [[nodiscard]] double predict() const override;
+
+ private:
+  SlidingWindow win_;
+  std::size_t window_;
+};
+
+/// The default NWS-like battery used throughout the toolkit.
+std::vector<std::unique_ptr<Forecaster>> default_battery();
+
+}  // namespace ew

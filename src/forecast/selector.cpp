@@ -1,0 +1,64 @@
+#include "forecast/selector.hpp"
+
+#include <stdexcept>
+
+namespace ew {
+
+AdaptiveForecaster::AdaptiveForecaster(
+    std::vector<std::unique_ptr<Forecaster>> battery)
+    : battery_(std::move(battery)), errors_(battery_.size()) {
+  if (battery_.empty()) {
+    throw std::invalid_argument("AdaptiveForecaster: empty battery");
+  }
+}
+
+AdaptiveForecaster AdaptiveForecaster::nws_default() {
+  return AdaptiveForecaster(default_battery());
+}
+
+void AdaptiveForecaster::observe(double value) {
+  // Score first (each method's standing prediction vs. the new truth),
+  // then let the methods see the value.
+  if (samples_ > 0) {
+    for (std::size_t i = 0; i < battery_.size(); ++i) {
+      errors_[i].add(battery_[i]->predict(), value);
+    }
+  }
+  for (auto& m : battery_) m->observe(value);
+  ++samples_;
+}
+
+std::size_t AdaptiveForecaster::best_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < errors_.size(); ++i) {
+    if (errors_[i].mae() < errors_[best].mae()) best = i;
+  }
+  return best;
+}
+
+Forecast AdaptiveForecaster::forecast() const {
+  Forecast f;
+  f.samples = samples_;
+  if (samples_ == 0) return f;
+  const std::size_t best = best_index();
+  f.value = battery_[best]->predict();
+  f.error = errors_[best].mae();
+  f.method = battery_[best]->name();
+  return f;
+}
+
+std::vector<double> AdaptiveForecaster::method_mae() const {
+  std::vector<double> out;
+  out.reserve(errors_.size());
+  for (const auto& e : errors_) out.push_back(e.mae());
+  return out;
+}
+
+std::vector<std::string> AdaptiveForecaster::method_names() const {
+  std::vector<std::string> out;
+  out.reserve(battery_.size());
+  for (const auto& m : battery_) out.push_back(m->name());
+  return out;
+}
+
+}  // namespace ew

@@ -1,0 +1,55 @@
+// Adaptive forecaster selection (paper Section 2.2).
+//
+// The NWS "dynamically chooses the technique that yields the greatest
+// forecasting accuracy over time". AdaptiveForecaster runs the whole method
+// battery in parallel over one measurement stream; before each observation
+// is absorbed, every method is scored on how well it predicted it, and
+// predict() answers with the method that currently has the lowest cumulative
+// mean absolute error.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace ew {
+
+/// A point forecast plus its expected error (the winner's historical MAE).
+struct Forecast {
+  double value = 0.0;
+  double error = 0.0;        // MAE of the selected method so far
+  std::size_t samples = 0;   // observations absorbed
+  std::string method;        // name of the selected method
+};
+
+class AdaptiveForecaster {
+ public:
+  /// Takes ownership of the battery; use nws_default() for the standard set.
+  explicit AdaptiveForecaster(std::vector<std::unique_ptr<Forecaster>> battery);
+
+  /// The standard NWS-like battery (forecaster.hpp: default_battery()).
+  static AdaptiveForecaster nws_default();
+
+  /// Score all methods against `value`, then absorb it.
+  void observe(double value);
+
+  /// Best-method forecast of the next value.
+  [[nodiscard]] Forecast forecast() const;
+
+  /// Per-method cumulative MAE (parallel to method_names()); for diagnostics
+  /// and the forecast-accuracy bench.
+  [[nodiscard]] std::vector<double> method_mae() const;
+  [[nodiscard]] std::vector<std::string> method_names() const;
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  [[nodiscard]] std::size_t best_index() const;
+  std::vector<std::unique_ptr<Forecaster>> battery_;
+  std::vector<ErrorTracker> errors_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace ew

@@ -1,0 +1,50 @@
+#include "forecast/timeout.hpp"
+
+namespace ew {
+
+namespace {
+Duration g_static_override = 0;
+}
+
+void AdaptiveTimeout::set_global_static_override(Duration value) {
+  g_static_override = value;
+}
+
+Duration AdaptiveTimeout::global_static_override() { return g_static_override; }
+
+Duration AdaptiveTimeout::timeout(const EventTag& tag) const {
+  if (g_static_override > 0) return g_static_override;
+  const Forecast f = bank_.forecast(tag);
+  if (f.samples == 0) return opts_.initial;
+  // forecast + k * expected error; a floor on the error term keeps a
+  // perfectly-predicted stream from collapsing to a hair-trigger time-out.
+  const double error = std::max(f.error, 0.1 * std::max(f.value, 1.0));
+  double raw = f.value + opts_.safety_factor * error;
+  // Cover the observed tail: response times are heavy-tailed and a live
+  // server answering at its p98 must not be declared dead.
+  auto it = tails_.find(tag);
+  if (it != tails_.end() && !it->second.empty()) {
+    raw = std::max(raw, it->second.quantile(opts_.tail_quantile) * opts_.tail_margin);
+  }
+  return std::clamp(static_cast<Duration>(raw), opts_.floor, opts_.ceiling);
+}
+
+void AdaptiveTimeout::on_result(const EventTag& tag, Duration rtt, bool ok) {
+  if (ok) {
+    bank_.record(tag, static_cast<double>(rtt));
+    auto it = tails_.find(tag);
+    if (it == tails_.end()) {
+      it = tails_.emplace(tag, SlidingWindow(opts_.tail_window)).first;
+    }
+    it->second.add(static_cast<double>(rtt));
+    return;
+  }
+  // The request never completed, so its true service time is unknown; feed
+  // an inflated pseudo-sample so consecutive failures raise the time-out
+  // (the paper's alternative — static time-outs — "frequently misjudged the
+  // availability" of servers and caused "needless retries").
+  const Duration current = timeout(tag);
+  bank_.record(tag, opts_.failure_inflation * static_cast<double>(current));
+}
+
+}  // namespace ew

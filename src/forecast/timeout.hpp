@@ -1,0 +1,95 @@
+// Dynamic time-out discovery (paper Section 2.2).
+//
+// "By forecasting how quickly a server would respond to each type of
+// message, we were able to dynamically adjust the message time-out interval
+// to account for ambient network and CPU load conditions. This dynamic
+// time-out discovery proved crucial to overall program stability."
+//
+// AdaptiveTimeout derives a per-(server, message type) time-out from the
+// event forecaster bank: forecast + safety_factor * expected error, clamped
+// to [floor, ceiling]. Failed requests feed back an inflated pseudo-sample
+// so repeated timeouts push the interval up instead of thrashing.
+// StaticTimeout is the paper's rejected alternative, kept as the baseline
+// for bench/ablation_timeouts.
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "forecast/dynamic_benchmark.hpp"
+
+namespace ew {
+
+/// Strategy interface so schedulers/gossips can swap policies (ablation).
+class TimeoutPolicy {
+ public:
+  virtual ~TimeoutPolicy() = default;
+  /// Time-out to use for the next request matching `tag`.
+  [[nodiscard]] virtual Duration timeout(const EventTag& tag) const = 0;
+  /// Report a request outcome: round-trip time and success flag.
+  virtual void on_result(const EventTag& tag, Duration rtt, bool ok) = 0;
+};
+
+/// Fixed time-out regardless of observed behaviour (the ablation baseline).
+class StaticTimeout final : public TimeoutPolicy {
+ public:
+  explicit StaticTimeout(Duration value) : value_(value) {}
+  [[nodiscard]] Duration timeout(const EventTag&) const override { return value_; }
+  void on_result(const EventTag&, Duration, bool) override {}
+
+ private:
+  Duration value_;
+};
+
+/// Forecast-driven time-outs (the paper's approach).
+class AdaptiveTimeout final : public TimeoutPolicy {
+ public:
+  struct Options {
+    Duration floor = 50 * kMillisecond;    // never spin-retry faster than this
+    Duration ceiling = 60 * kSecond;       // never hang longer than this
+    Duration initial = 5 * kSecond;        // before any measurement
+    double safety_factor = 4.0;            // multiples of expected error
+    double failure_inflation = 2.0;        // pseudo-sample on timeout
+    /// Response times are heavy-tailed (queueing); mean + k*MAE alone
+    /// misjudges live-but-slow servers. The time-out also covers an
+    /// observed high quantile with margin.
+    double tail_quantile = 0.98;
+    double tail_margin = 2.5;
+    std::size_t tail_window = 128;         // samples kept per event tag
+  };
+
+  AdaptiveTimeout() : AdaptiveTimeout(Options{}) {}
+  explicit AdaptiveTimeout(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] Duration timeout(const EventTag& tag) const override;
+  void on_result(const EventTag& tag, Duration rtt, bool ok) override;
+
+  [[nodiscard]] const EventForecasterBank& bank() const { return bank_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Experiment-wide switch for bench/ablation_timeouts: while set, every
+  /// AdaptiveTimeout in the process answers with this fixed value instead of
+  /// forecasting — turning the whole toolkit into the paper's rejected
+  /// statically-timed-out configuration without rewiring any component.
+  /// Pass 0 to restore adaptive behaviour. Not thread-safe by design: the
+  /// simulator is single-threaded and scenarios toggle it around runs.
+  static void set_global_static_override(Duration value);
+  [[nodiscard]] static Duration global_static_override();
+
+  /// RAII guard for the override.
+  class StaticOverrideGuard {
+   public:
+    explicit StaticOverrideGuard(Duration value) { set_global_static_override(value); }
+    ~StaticOverrideGuard() { set_global_static_override(0); }
+    StaticOverrideGuard(const StaticOverrideGuard&) = delete;
+    StaticOverrideGuard& operator=(const StaticOverrideGuard&) = delete;
+  };
+
+ private:
+  Options opts_;
+  EventForecasterBank bank_;
+  // Per-tag trailing RTT windows for the tail-quantile term.
+  mutable std::unordered_map<EventTag, SlidingWindow, EventTagHash> tails_;
+};
+
+}  // namespace ew

@@ -1,0 +1,205 @@
+#include "gossip/gossip_server.hpp"
+
+#include "common/log.hpp"
+
+namespace ew::gossip {
+
+GossipServer::GossipServer(Node& node, const ComparatorRegistry& comparators,
+                           std::vector<Endpoint> well_known_gossips,
+                           Options opts)
+    : node_(node),
+      well_known_(std::move(well_known_gossips)),
+      opts_(opts),
+      clique_(node, well_known_, opts.clique),
+      store_(comparators) {}
+
+void GossipServer::start() {
+  if (running_) return;
+  running_ = true;
+  node_.handle(msgtype::kRegister, [this](const IncomingMessage& m, Responder r) {
+    on_register(m, r);
+  });
+  node_.handle(msgtype::kRegForward,
+               [this](const IncomingMessage& m, Responder r) { on_reg_forward(m, r); });
+  node_.handle(msgtype::kDigest, [this](const IncomingMessage& m, Responder r) {
+    on_digest(m, r);
+  });
+  clique_.start();
+  poll_timer_ = node_.executor().schedule(opts_.poll_period, [this] { poll_tick(); });
+  sync_timer_ =
+      node_.executor().schedule(opts_.peer_sync_period, [this] { peer_sync_tick(); });
+}
+
+void GossipServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  clique_.stop();
+  node_.executor().cancel(poll_timer_);
+  node_.executor().cancel(sync_timer_);
+}
+
+bool GossipServer::responsible_for(const Endpoint& component) const {
+  const auto& members = clique_.view().members;
+  if (members.empty()) return true;
+  const std::string item = component.to_string();
+  const Endpoint* best = nullptr;
+  std::uint64_t best_w = 0;
+  for (const auto& m : members) {
+    const std::uint64_t w = rendezvous_weight(m.to_string(), item);
+    if (best == nullptr || w > best_w || (w == best_w && m < *best)) {
+      best = &m;
+      best_w = w;
+    }
+  }
+  return best != nullptr && *best == node_.self();
+}
+
+void GossipServer::admit(const Registration& reg) {
+  auto& entry = registry_[reg.component];
+  entry.reg = reg;
+  entry.lease_expiry = node_.executor().now() + opts_.lease;
+  entry.misses = 0;
+}
+
+void GossipServer::on_register(const IncomingMessage& msg, const Responder& resp) {
+  auto reg = Registration::deserialize(msg.packet.payload);
+  if (!reg) {
+    resp.fail(Err::kProtocol, reg.error().message);
+    return;
+  }
+  admit(*reg);
+  resp.ok();
+  // Let the rest of the clique know (volatile-but-replicated state).
+  for (const auto& peer : clique_.view().members) {
+    if (peer == node_.self()) continue;
+    node_.send_oneway(peer, msgtype::kRegForward, reg->serialize());
+  }
+}
+
+void GossipServer::on_reg_forward(const IncomingMessage& msg, const Responder& resp) {
+  auto reg = Registration::deserialize(msg.packet.payload);
+  if (!reg) {
+    resp.fail(Err::kProtocol, reg.error().message);
+    return;
+  }
+  admit(*reg);
+  resp.ok();
+}
+
+Digest GossipServer::make_digest() const {
+  Digest d;
+  d.registrations.reserve(registry_.size());
+  for (const auto& [ep, entry] : registry_) d.registrations.push_back(entry.reg);
+  d.states = store_.all();
+  return d;
+}
+
+void GossipServer::absorb(const StateBlob& blob) {
+  if (store_.merge(blob)) ++states_absorbed_;
+}
+
+void GossipServer::on_digest(const IncomingMessage& msg, const Responder& resp) {
+  auto digest = Digest::deserialize(msg.packet.payload);
+  if (!digest) {
+    resp.fail(Err::kProtocol, digest.error().message);
+    return;
+  }
+  for (const auto& reg : digest->registrations) {
+    if (!registry_.contains(reg.component)) admit(reg);
+  }
+  for (const auto& s : digest->states) absorb(s);
+  resp.ok(make_digest().serialize());
+}
+
+void GossipServer::poll_tick() {
+  if (!running_) return;
+  const TimePoint now = node_.executor().now();
+  // Purge expired leases and hopeless components.
+  for (auto it = registry_.begin(); it != registry_.end();) {
+    if (it->second.lease_expiry < now || it->second.misses >= opts_.drop_after_misses) {
+      it = registry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [ep, entry] : registry_) {
+    if (!responsible_for(ep)) continue;
+    for (MsgType type : entry.reg.types) poll_component(ep, type);
+  }
+  poll_timer_ = node_.executor().schedule(opts_.poll_period, [this] { poll_tick(); });
+}
+
+void GossipServer::poll_component(const Endpoint& component, MsgType type) {
+  Writer w;
+  w.u16(type);
+  ++polls_sent_;
+  const EventTag tag = EventTag::of(component, msgtype::kGetState);
+  const TimePoint t0 = node_.executor().now();
+  node_.call(
+      component, msgtype::kGetState, w.take(), timeouts_.timeout(tag),
+      [this, component, type, tag, t0](Result<Bytes> r) {
+        if (!running_) return;
+        timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+        auto it = registry_.find(component);
+        if (!r.ok()) {
+          if (r.code() == Err::kTimeout || r.code() == Err::kRefused ||
+              r.code() == Err::kClosed) {
+            if (it != registry_.end()) ++it->second.misses;
+          }
+          return;
+        }
+        if (it != registry_.end()) it->second.misses = 0;
+        const Bytes& theirs = *r;
+        const int cmp = store_.compare_with_stored(type, theirs);
+        if (cmp > 0) {
+          absorb(StateBlob{type, theirs});
+        } else if (cmp < 0) {
+          // The component is out of date: push our fresher copy
+          // ("the Gossip sends a fresh state update to the application
+          // component that originated the out-of-date message").
+          auto fresh = store_.get(type);
+          if (!fresh) return;
+          Writer upd;
+          write_state_blob(upd, *fresh);
+          ++updates_pushed_;
+          const EventTag utag = EventTag::of(component, msgtype::kStateUpdate);
+          const TimePoint u0 = node_.executor().now();
+          node_.call(component, msgtype::kStateUpdate, upd.take(),
+                     timeouts_.timeout(utag), [this, utag, u0](Result<Bytes> ur) {
+                       if (!running_) return;
+                       timeouts_.on_result(utag, node_.executor().now() - u0,
+                                           ur.ok());
+                     });
+        }
+      });
+}
+
+void GossipServer::peer_sync_tick() {
+  if (!running_) return;
+  const auto& members = clique_.view().members;
+  std::vector<Endpoint> peers;
+  for (const auto& m : members) {
+    if (m != node_.self()) peers.push_back(m);
+  }
+  if (!peers.empty()) {
+    const Endpoint peer = peers[peer_index_++ % peers.size()];
+    const EventTag tag = EventTag::of(peer, msgtype::kDigest);
+    const TimePoint t0 = node_.executor().now();
+    node_.call(peer, msgtype::kDigest, make_digest().serialize(),
+               timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+                 if (!running_) return;
+                 timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+                 if (!r.ok()) return;
+                 auto digest = Digest::deserialize(*r);
+                 if (!digest) return;
+                 for (const auto& reg : digest->registrations) {
+                   if (!registry_.contains(reg.component)) admit(reg);
+                 }
+                 for (const auto& s : digest->states) absorb(s);
+               });
+  }
+  sync_timer_ =
+      node_.executor().schedule(opts_.peer_sync_period, [this] { peer_sync_tick(); });
+}
+
+}  // namespace ew::gossip

@@ -1,0 +1,88 @@
+// The Gossip server: EveryWare's distributed state exchange (paper §2.3).
+//
+// Each Gossip keeps the freshest copy it has seen of every synchronized
+// state object, polls the application components it is responsible for,
+// compares their copies with its own using the registered freshness
+// comparators, pushes updates to holders of stale copies, and anti-entropies
+// with its clique peers. Responsibility for components is partitioned across
+// the clique by rendezvous hashing and rebalances automatically whenever the
+// clique view changes (gossip failure, partition, merge).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "forecast/timeout.hpp"
+#include "gossip/clique.hpp"
+#include "gossip/state.hpp"
+#include "net/node.hpp"
+
+namespace ew::gossip {
+
+class GossipServer {
+ public:
+  struct Options {
+    Duration poll_period = 10 * kSecond;       // component polling cadence
+    Duration peer_sync_period = 20 * kSecond;  // clique anti-entropy cadence
+    Duration lease = 5 * kMinute;              // registration lifetime
+    int drop_after_misses = 5;                 // consecutive poll failures
+    CliqueMember::Options clique;
+  };
+
+  GossipServer(Node& node, const ComparatorRegistry& comparators,
+               std::vector<Endpoint> well_known_gossips, Options opts);
+  GossipServer(Node& node, const ComparatorRegistry& comparators,
+               std::vector<Endpoint> well_known_gossips)
+      : GossipServer(node, comparators, std::move(well_known_gossips), Options{}) {}
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const StateStore& store() const { return store_; }
+  [[nodiscard]] StateStore& store() { return store_; }
+  [[nodiscard]] CliqueMember& clique() { return clique_; }
+  [[nodiscard]] const CliqueMember& clique() const { return clique_; }
+
+  [[nodiscard]] std::size_t registered_components() const { return registry_.size(); }
+  /// True if this gossip (given the current clique view) polls `component`.
+  [[nodiscard]] bool responsible_for(const Endpoint& component) const;
+
+  /// Diagnostics for tests and the dependability bench.
+  [[nodiscard]] std::uint64_t polls_sent() const { return polls_sent_; }
+  [[nodiscard]] std::uint64_t updates_pushed() const { return updates_pushed_; }
+  [[nodiscard]] std::uint64_t states_absorbed() const { return states_absorbed_; }
+
+ private:
+  struct Entry {
+    Registration reg;
+    TimePoint lease_expiry = 0;
+    int misses = 0;
+  };
+
+  void on_register(const IncomingMessage& msg, const Responder& resp);
+  void on_reg_forward(const IncomingMessage& msg, const Responder& resp);
+  void on_digest(const IncomingMessage& msg, const Responder& resp);
+  void poll_tick();
+  void peer_sync_tick();
+  void poll_component(const Endpoint& component, MsgType type);
+  void absorb(const StateBlob& blob);
+  void admit(const Registration& reg);
+  [[nodiscard]] Digest make_digest() const;
+
+  Node& node_;
+  std::vector<Endpoint> well_known_;
+  Options opts_;
+  AdaptiveTimeout timeouts_;
+  CliqueMember clique_;
+  StateStore store_;
+  std::unordered_map<Endpoint, Entry, EndpointHash> registry_;
+  bool running_ = false;
+  std::size_t peer_index_ = 0;
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t updates_pushed_ = 0;
+  std::uint64_t states_absorbed_ = 0;
+  TimerId poll_timer_ = kInvalidTimer;
+  TimerId sync_timer_ = kInvalidTimer;
+};
+
+}  // namespace ew::gossip

@@ -1,0 +1,191 @@
+#include "gossip/protocol.hpp"
+
+#include <algorithm>
+
+namespace ew::gossip {
+
+void write_endpoint(Writer& w, const Endpoint& e) {
+  w.str(e.host);
+  w.u16(e.port);
+}
+
+Result<Endpoint> read_endpoint(Reader& r) {
+  auto host = r.str();
+  if (!host) return host.error();
+  auto port = r.u16();
+  if (!port) return port.error();
+  return Endpoint{std::move(*host), *port};
+}
+
+Bytes Registration::serialize() const {
+  Writer w;
+  write_endpoint(w, component);
+  w.u32(static_cast<std::uint32_t>(types.size()));
+  for (MsgType t : types) w.u16(t);
+  return w.take();
+}
+
+Result<Registration> Registration::deserialize(const Bytes& data) {
+  Reader r(data);
+  Registration reg;
+  auto ep = read_endpoint(r);
+  if (!ep) return ep.error();
+  reg.component = std::move(*ep);
+  auto n = r.u32();
+  if (!n) return n.error();
+  if (*n > 4096) return Error{Err::kProtocol, "registration type list too long"};
+  reg.types.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto t = r.u16();
+    if (!t) return t.error();
+    reg.types.push_back(*t);
+  }
+  return reg;
+}
+
+void write_state_blob(Writer& w, const StateBlob& s) {
+  w.u16(s.type);
+  w.blob(s.content);
+}
+
+Result<StateBlob> read_state_blob(Reader& r) {
+  StateBlob s;
+  auto t = r.u16();
+  if (!t) return t.error();
+  s.type = *t;
+  auto c = r.blob();
+  if (!c) return c.error();
+  s.content = std::move(*c);
+  return s;
+}
+
+Bytes Digest::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(registrations.size()));
+  for (const auto& reg : registrations) w.blob(reg.serialize());
+  w.u32(static_cast<std::uint32_t>(states.size()));
+  for (const auto& s : states) write_state_blob(w, s);
+  return w.take();
+}
+
+Result<Digest> Digest::deserialize(const Bytes& data) {
+  Reader r(data);
+  Digest d;
+  auto nreg = r.u32();
+  if (!nreg) return nreg.error();
+  if (*nreg > 100'000) return Error{Err::kProtocol, "digest too large"};
+  for (std::uint32_t i = 0; i < *nreg; ++i) {
+    auto blob = r.blob();
+    if (!blob) return blob.error();
+    auto reg = Registration::deserialize(*blob);
+    if (!reg) return reg.error();
+    d.registrations.push_back(std::move(*reg));
+  }
+  auto nstate = r.u32();
+  if (!nstate) return nstate.error();
+  if (*nstate > 100'000) return Error{Err::kProtocol, "digest too large"};
+  for (std::uint32_t i = 0; i < *nstate; ++i) {
+    auto s = read_state_blob(r);
+    if (!s) return s.error();
+    d.states.push_back(std::move(*s));
+  }
+  return d;
+}
+
+bool View::contains(const Endpoint& e) const {
+  return std::binary_search(members.begin(), members.end(), e);
+}
+
+bool View::newer_than(const View& other) const {
+  if (generation != other.generation) return generation > other.generation;
+  return leader < other.leader;
+}
+
+void View::write(Writer& w) const {
+  w.u64(generation);
+  write_endpoint(w, leader);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const auto& m : members) write_endpoint(w, m);
+}
+
+Result<View> View::read(Reader& r) {
+  View v;
+  auto gen = r.u64();
+  if (!gen) return gen.error();
+  v.generation = *gen;
+  auto leader = read_endpoint(r);
+  if (!leader) return leader.error();
+  v.leader = std::move(*leader);
+  auto n = r.u32();
+  if (!n) return n.error();
+  if (*n > 100'000) return Error{Err::kProtocol, "view too large"};
+  v.members.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto m = read_endpoint(r);
+    if (!m) return m.error();
+    v.members.push_back(std::move(*m));
+  }
+  std::sort(v.members.begin(), v.members.end());
+  return v;
+}
+
+Bytes View::serialize() const {
+  Writer w;
+  write(w);
+  return w.take();
+}
+
+Result<View> View::deserialize(const Bytes& data) {
+  Reader r(data);
+  return read(r);
+}
+
+namespace {
+void write_endpoint_list(Writer& w, const std::vector<Endpoint>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const auto& e : list) write_endpoint(w, e);
+}
+
+Result<std::vector<Endpoint>> read_endpoint_list(Reader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  if (*n > 100'000) return Error{Err::kProtocol, "endpoint list too large"};
+  std::vector<Endpoint> out;
+  out.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto e = read_endpoint(r);
+    if (!e) return e.error();
+    out.push_back(std::move(*e));
+  }
+  return out;
+}
+}  // namespace
+
+Bytes Token::serialize() const {
+  Writer w;
+  w.u64(round);
+  view.write(w);
+  write_endpoint_list(w, visited);
+  write_endpoint_list(w, suspects);
+  return w.take();
+}
+
+Result<Token> Token::deserialize(const Bytes& data) {
+  Reader r(data);
+  Token t;
+  auto round = r.u64();
+  if (!round) return round.error();
+  t.round = *round;
+  auto v = View::read(r);
+  if (!v) return v.error();
+  t.view = std::move(*v);
+  auto visited = read_endpoint_list(r);
+  if (!visited) return visited.error();
+  t.visited = std::move(*visited);
+  auto suspects = read_endpoint_list(r);
+  if (!suspects) return suspects.error();
+  t.suspects = std::move(*suspects);
+  return t;
+}
+
+}  // namespace ew::gossip

@@ -1,0 +1,97 @@
+// Wire protocol for the distributed state exchange service (paper §2.3).
+//
+// Message-type constants and payload codecs shared by Gossip servers, the
+// clique protocol, and application components. Gossip/clique types live in
+// the 0x01xx block; application services (scheduler, persistent state,
+// logging) use 0x02xx (core/protocol.hpp).
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+#include "net/endpoint.hpp"
+#include "net/packet.hpp"
+
+namespace ew::gossip {
+
+namespace msgtype {
+// Component <-> Gossip.
+constexpr MsgType kRegister = 0x0101;     // component registers for sync
+constexpr MsgType kGetState = 0x0102;     // gossip polls a component
+constexpr MsgType kStateUpdate = 0x0103;  // fresher state pushed to a holder
+// Gossip <-> Gossip.
+constexpr MsgType kDigest = 0x0104;       // anti-entropy exchange
+constexpr MsgType kRegForward = 0x0105;   // registration broadcast
+// Clique protocol.
+constexpr MsgType kToken = 0x0110;
+constexpr MsgType kJoin = 0x0111;
+constexpr MsgType kProbe = 0x0112;
+constexpr MsgType kMerge = 0x0113;
+}  // namespace msgtype
+
+/// Endpoint codec helpers used across all protocols.
+void write_endpoint(Writer& w, const Endpoint& e);
+Result<Endpoint> read_endpoint(Reader& r);
+
+/// A component's registration: its contact address and the state message
+/// types it wants synchronized (paper: "register a contact address, a unique
+/// message type, and a comparator").
+struct Registration {
+  Endpoint component;
+  std::vector<MsgType> types;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<Registration> deserialize(const Bytes& data);
+};
+
+/// One synchronized state object: its type and opaque content.
+struct StateBlob {
+  MsgType type = 0;
+  Bytes content;
+};
+
+void write_state_blob(Writer& w, const StateBlob& s);
+Result<StateBlob> read_state_blob(Reader& r);
+
+/// Anti-entropy digest: everything one gossip knows, shipped to a peer.
+/// (The paper's prototype did pair-wise comparison of full state; states are
+/// small — a counter-example graph is < 600 bytes — so full-content digests
+/// match the SC98 implementation and its admitted O(N^2) character.)
+struct Digest {
+  std::vector<Registration> registrations;
+  std::vector<StateBlob> states;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<Digest> deserialize(const Bytes& data);
+};
+
+/// A clique view: generation, leader, sorted member list.
+struct View {
+  std::uint64_t generation = 0;
+  Endpoint leader;
+  std::vector<Endpoint> members;  // kept sorted, includes the leader
+
+  [[nodiscard]] bool contains(const Endpoint& e) const;
+  /// Total order for adoption: higher generation wins; ties break toward
+  /// the lexicographically smaller leader (deterministic convergence).
+  [[nodiscard]] bool newer_than(const View& other) const;
+  [[nodiscard]] Bytes serialize() const;
+  static Result<View> deserialize(const Bytes& data);
+  void write(Writer& w) const;
+  static Result<View> read(Reader& r);
+};
+
+/// The circulating token: the view it asserts, who has seen it this round,
+/// and who could not be reached while forwarding it.
+struct Token {
+  std::uint64_t round = 0;
+  View view;
+  std::vector<Endpoint> visited;
+  std::vector<Endpoint> suspects;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<Token> deserialize(const Bytes& data);
+};
+
+}  // namespace ew::gossip

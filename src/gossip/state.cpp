@@ -1,0 +1,70 @@
+#include "gossip/state.hpp"
+
+namespace ew::gossip {
+
+int compare_by_version_prefix(const Bytes& a, const Bytes& b) {
+  const auto va = blob_version(a);
+  const auto vb = blob_version(b);
+  const std::uint64_t x = va ? *va : 0;
+  const std::uint64_t y = vb ? *vb : 0;
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+Bytes versioned_blob(std::uint64_t version, const Bytes& body) {
+  Writer w(8 + body.size());
+  w.u64(version);
+  w.raw(body);
+  return w.take();
+}
+
+Result<std::uint64_t> blob_version(const Bytes& blob) {
+  Reader r(blob);
+  return r.u64();
+}
+
+Result<Bytes> blob_body(const Bytes& blob) {
+  Reader r(blob);
+  auto v = r.u64();
+  if (!v) return v.error();
+  return r.raw(r.remaining());
+}
+
+void ComparatorRegistry::register_comparator(MsgType type, FreshnessFn fn) {
+  map_[type] = std::move(fn);
+}
+
+const FreshnessFn& ComparatorRegistry::comparator(MsgType type) const {
+  auto it = map_.find(type);
+  return it == map_.end() ? fallback_ : it->second;
+}
+
+bool StateStore::merge(const StateBlob& incoming) {
+  if (compare_with_stored(incoming.type, incoming.content) > 0) {
+    map_[incoming.type] = incoming.content;
+    return true;
+  }
+  return false;
+}
+
+std::optional<StateBlob> StateStore::get(MsgType type) const {
+  auto it = map_.find(type);
+  if (it == map_.end()) return std::nullopt;
+  return StateBlob{type, it->second};
+}
+
+std::vector<StateBlob> StateStore::all() const {
+  std::vector<StateBlob> out;
+  out.reserve(map_.size());
+  for (const auto& [type, content] : map_) out.push_back(StateBlob{type, content});
+  return out;
+}
+
+int StateStore::compare_with_stored(MsgType type, const Bytes& candidate) const {
+  auto it = map_.find(type);
+  if (it == map_.end()) return 1;
+  return comparators_.comparator(type)(candidate, it->second);
+}
+
+}  // namespace ew::gossip

@@ -1,0 +1,66 @@
+// State records and freshness comparison (paper Section 2.3).
+//
+// Each synchronized state object is identified by its message type. A
+// freshness comparator decides, for two encodings of the same type, which is
+// fresher. In the paper a component registers its comparator function with
+// the Gossip at run time; functions cannot travel over a C++ wire, so
+// comparators are registered by message type in a ComparatorRegistry that
+// both gossips and components link against. Types with no registered
+// comparator fall back to comparing a leading u64 version stamp — the
+// convention all toolkit state types follow anyway.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/serialize.hpp"
+#include "gossip/protocol.hpp"
+
+namespace ew::gossip {
+
+/// Returns <0 if a is staler than b, 0 if equally fresh, >0 if a is fresher.
+using FreshnessFn = std::function<int(const Bytes& a, const Bytes& b)>;
+
+/// Compare by leading u64 version stamp; unparseable content is stalest.
+int compare_by_version_prefix(const Bytes& a, const Bytes& b);
+
+/// Convenience for state types that use the version-prefix convention.
+Bytes versioned_blob(std::uint64_t version, const Bytes& body);
+Result<std::uint64_t> blob_version(const Bytes& blob);
+Result<Bytes> blob_body(const Bytes& blob);
+
+class ComparatorRegistry {
+ public:
+  void register_comparator(MsgType type, FreshnessFn fn);
+  /// The comparator for `type` (version-prefix fallback when unregistered).
+  [[nodiscard]] const FreshnessFn& comparator(MsgType type) const;
+
+ private:
+  std::unordered_map<MsgType, FreshnessFn> map_;
+  FreshnessFn fallback_ = compare_by_version_prefix;
+};
+
+/// The freshest-known-copy store kept by each Gossip.
+class StateStore {
+ public:
+  explicit StateStore(const ComparatorRegistry& comparators)
+      : comparators_(comparators) {}
+
+  /// Merge `incoming`; returns true if it was fresher and replaced the copy.
+  bool merge(const StateBlob& incoming);
+
+  [[nodiscard]] std::optional<StateBlob> get(MsgType type) const;
+  [[nodiscard]] std::vector<StateBlob> all() const;
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// <0 staler, 0 equal, >0 fresher — `candidate` vs the stored copy.
+  /// Returns fresher (>0) when nothing is stored yet.
+  [[nodiscard]] int compare_with_stored(MsgType type, const Bytes& candidate) const;
+
+ private:
+  const ComparatorRegistry& comparators_;
+  std::unordered_map<MsgType, Bytes> map_;
+};
+
+}  // namespace ew::gossip

@@ -1,0 +1,113 @@
+#include "gossip/sync_client.hpp"
+
+#include "common/log.hpp"
+
+namespace ew::gossip {
+
+SyncClient::SyncClient(Node& node, const ComparatorRegistry& comparators,
+                       std::vector<Endpoint> gossips, Options opts)
+    : node_(node),
+      comparators_(comparators),
+      gossips_(std::move(gossips)),
+      opts_(opts) {}
+
+void SyncClient::expose(MsgType type, StateHandlers handlers) {
+  handlers_[type] = std::move(handlers);
+}
+
+void SyncClient::start() {
+  if (running_) return;
+  running_ = true;
+  node_.handle(msgtype::kGetState,
+               [this](const IncomingMessage& m, Responder r) { on_get_state(m, r); });
+  node_.handle(msgtype::kStateUpdate, [this](const IncomingMessage& m, Responder r) {
+    on_state_update(m, r);
+  });
+  if (!gossips_.empty()) register_with(0);
+}
+
+void SyncClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  node_.executor().cancel(renew_timer_);
+  registered_ = false;
+}
+
+void SyncClient::register_with(std::size_t index) {
+  if (!running_ || gossips_.empty()) return;
+  const Endpoint target = gossips_[index % gossips_.size()];
+  Registration reg;
+  reg.component = node_.self();
+  for (const auto& [type, h] : handlers_) reg.types.push_back(type);
+  node_.call(target, msgtype::kRegister, reg.serialize(), opts_.call_timeout,
+             [this, target, index](Result<Bytes> r) {
+               if (!running_) return;
+               if (r.ok()) {
+                 registered_ = true;
+                 current_gossip_ = target;
+                 schedule_renewal();
+               } else {
+                 registered_ = false;
+                 // Fail over to the next well-known gossip after a beat.
+                 renew_timer_ = node_.executor().schedule(
+                     opts_.retry_delay, [this, index] { register_with(index + 1); });
+               }
+             });
+}
+
+void SyncClient::schedule_renewal() {
+  renew_timer_ = node_.executor().schedule(opts_.reregister_period, [this] {
+    if (!running_) return;
+    // Renew with the same gossip; its failure pushes us down the list.
+    for (std::size_t i = 0; i < gossips_.size(); ++i) {
+      if (gossips_[i] == current_gossip_) {
+        register_with(i);
+        return;
+      }
+    }
+    register_with(0);
+  });
+}
+
+void SyncClient::on_get_state(const IncomingMessage& msg, const Responder& resp) {
+  Reader r(msg.packet.payload);
+  auto type = r.u16();
+  if (!type) {
+    resp.fail(Err::kProtocol, "missing state type");
+    return;
+  }
+  auto it = handlers_.find(*type);
+  if (it == handlers_.end() || !it->second.provider) {
+    resp.fail(Err::kRejected, "state type not exposed: " + std::to_string(*type));
+    return;
+  }
+  resp.ok(it->second.provider());
+}
+
+void SyncClient::on_state_update(const IncomingMessage& msg, const Responder& resp) {
+  Reader r(msg.packet.payload);
+  auto blob = read_state_blob(r);
+  if (!blob) {
+    resp.fail(Err::kProtocol, blob.error().message);
+    return;
+  }
+  auto it = handlers_.find(blob->type);
+  if (it == handlers_.end() || !it->second.applier) {
+    resp.fail(Err::kRejected, "state type not exposed: " + std::to_string(blob->type));
+    return;
+  }
+  // Apply only if genuinely fresher than what we hold — a slow Gossip must
+  // not be able to roll a component's state backwards.
+  if (it->second.provider) {
+    const Bytes mine = it->second.provider();
+    if (comparators_.comparator(blob->type)(blob->content, mine) <= 0) {
+      resp.ok();  // polite no-op; we are already at least as fresh
+      return;
+    }
+  }
+  it->second.applier(blob->content);
+  ++updates_applied_;
+  resp.ok();
+}
+
+}  // namespace ew::gossip

@@ -1,0 +1,12 @@
+#include "infra/condor.hpp"
+
+namespace ew::infra {
+
+CondorAdapter::CondorAdapter(sim::EventQueue& events, sim::SimTransport& transport,
+                             sim::NetworkModel& network, std::uint64_t seed,
+                             PoolProfile profile)
+    : PoolAdapter(events, transport, network, std::move(profile), seed) {
+  pool_.set_on_client_killed([this](std::size_t) { ++evictions_; });
+}
+
+}  // namespace ew::infra

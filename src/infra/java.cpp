@@ -1,0 +1,5 @@
+#include "infra/java.hpp"
+
+// JavaAdapter is fully defined in the header; this translation unit anchors
+// the vtable.
+namespace ew::infra {}

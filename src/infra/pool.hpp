@@ -1,0 +1,128 @@
+// HostPool: a fleet of simulated hosts under one infrastructure, plus the
+// common adapter interface every infrastructure implements.
+//
+// The pool owns host lifecycles and (by default) launches a client process
+// on each host when it comes up, after the infrastructure's characteristic
+// start-up delay — the paper's observation that "each infrastructure
+// exported its own interface for launching and terminating processes"
+// (Section 5.1) becomes per-adapter launch ceremony around a common
+// ClientFactory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "infra/host.hpp"
+#include "sim/network_model.hpp"
+
+namespace ew::infra {
+
+/// A running client process handle; destroying it terminates the process.
+class Process {
+ public:
+  virtual ~Process() = default;
+};
+
+/// Creates a client process executing on `host`. The factory binds whatever
+/// endpoints it needs on host.spec().name.
+using ClientFactory = std::function<std::unique_ptr<Process>(SimHost&)>;
+
+struct PoolProfile {
+  core::Infra infra = core::Infra::kUnix;
+  std::string site = "wan";
+  std::string host_prefix = "host";
+  int host_count = 8;
+  double rate_median = 1e7;   // per-host peak ops/sec (lognormal median)
+  double rate_sigma = 0.4;    // lognormal shape across hosts
+  /// Overrides the lognormal draw when set (e.g. Java's two JIT/interpreted
+  /// tiers, Section 5.6).
+  std::function<double(int index, Rng& rng)> rate_fn;
+  sim::Ar1Process::Params load;
+  sim::DurationSampler::Params churn;
+  Duration relaunch_delay = 30 * kSecond;  // launch ceremony after host-up
+  double initially_up = 0.85;
+};
+
+class HostPool {
+ public:
+  HostPool(sim::EventQueue& events, sim::SimTransport& transport,
+           sim::NetworkModel& network, PoolProfile profile, std::uint64_t seed);
+  ~HostPool();
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  /// Create hosts, register their sites, start churn, and launch clients on
+  /// up hosts via `factory` (after relaunch_delay).
+  void start(ClientFactory factory);
+  void stop();
+
+  [[nodiscard]] int hosts_total() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] int hosts_up() const;
+  /// Hosts that are up AND currently running a client (Figure 3b counts
+  /// hosts delivering cycles, not merely powered).
+  [[nodiscard]] int hosts_active() const;
+  [[nodiscard]] double aggregate_rate() const;
+  [[nodiscard]] const PoolProfile& profile() const { return profile_; }
+  [[nodiscard]] std::vector<std::unique_ptr<SimHost>>& hosts() { return hosts_; }
+
+  /// Reclaim a deterministic fraction of up hosts (judging-time spike).
+  void reclaim_fraction(double fraction, Duration at_least);
+  /// Ambient CPU contention multiplier for all hosts.
+  void set_pressure(double factor);
+
+  /// Adapter hook: launch ceremony. The default schedules `factory` after
+  /// relaunch_delay; adapters override wiring via set_launch_hook to add
+  /// staging, brokering, or kill quirks. The hook is responsible for calling
+  /// run_client(i) eventually (or not, if launch fails).
+  using LaunchHook = std::function<void(std::size_t host_index)>;
+  void set_launch_hook(LaunchHook hook) { launch_hook_ = std::move(hook); }
+
+  /// Instantiate the client on host i now (idempotent while up).
+  void run_client(std::size_t host_index);
+  /// Kill the client on host i (host stays up).
+  void kill_client(std::size_t host_index);
+  [[nodiscard]] bool client_running(std::size_t host_index) const;
+
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+
+  /// Observer invoked when a host-down kills a running client (eviction).
+  void set_on_client_killed(std::function<void(std::size_t)> fn) {
+    on_client_killed_ = std::move(fn);
+  }
+
+ private:
+  void on_host_up(std::size_t i);
+  void on_host_down(std::size_t i);
+
+  sim::EventQueue& events_;
+  sim::SimTransport& transport_;
+  sim::NetworkModel& network_;
+  PoolProfile profile_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::vector<std::unique_ptr<Process>> clients_;
+  ClientFactory factory_;
+  LaunchHook launch_hook_;
+  std::function<void(std::size_t)> on_client_killed_;
+  bool running_ = false;
+  std::uint64_t launches_ = 0;
+};
+
+/// The adapter interface the scenario builder consumes.
+class InfraAdapter {
+ public:
+  virtual ~InfraAdapter() = default;
+  [[nodiscard]] virtual core::Infra kind() const = 0;
+  /// Start hosts + infrastructure services; clients come from `factory`.
+  virtual void start(ClientFactory factory) = 0;
+  virtual void stop() = 0;
+  [[nodiscard]] virtual int hosts_up() const = 0;
+  [[nodiscard]] virtual int hosts_active() const = 0;
+  [[nodiscard]] virtual int hosts_total() const = 0;
+  [[nodiscard]] virtual double aggregate_rate() const = 0;
+  /// Scripted contention events (Figure 2's judging spike).
+  virtual void apply_spike(const sim::Spike& spike) = 0;
+  virtual void clear_spike() = 0;
+};
+
+}  // namespace ew::infra

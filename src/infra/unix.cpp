@@ -1,0 +1,5 @@
+#include "infra/unix.hpp"
+
+// UnixAdapter is fully defined in the header; this translation unit anchors
+// the vtable.
+namespace ew::infra {}

@@ -1,0 +1,42 @@
+#include "net/inproc_transport.hpp"
+
+#include <utility>
+
+namespace ew {
+
+Status InProcTransport::bind(const Endpoint& self, PacketHandler handler) {
+  if (!self.valid()) return Status(Err::kRejected, "invalid endpoint");
+  auto [it, inserted] = bindings_.emplace(self, std::move(handler));
+  (void)it;
+  if (!inserted) return Status(Err::kRejected, "endpoint already bound: " + self.to_string());
+  return {};
+}
+
+void InProcTransport::unbind(const Endpoint& self) { bindings_.erase(self); }
+
+Status InProcTransport::send(const Endpoint& from, const Endpoint& to, Packet packet) {
+  if (drop_ && drop_(from, to, packet)) {
+    ++packets_dropped_;
+    return {};  // silent loss: the sender cannot tell
+  }
+  auto it = bindings_.find(to);
+  if (it == bindings_.end()) {
+    return Status(Err::kRefused, "no listener at " + to.to_string());
+  }
+  ++packets_sent_;
+  // Deliver on a later executor turn; re-resolve the binding at delivery
+  // time so packets racing an unbind are dropped like the real thing.
+  auto deliver = [this, from, to, pkt = std::move(packet)]() mutable {
+    auto target = bindings_.find(to);
+    if (target == bindings_.end()) return;
+    target->second(IncomingMessage{from, std::move(pkt)});
+  };
+  if (latency_ > 0) {
+    exec_.schedule(latency_, std::move(deliver));
+  } else {
+    exec_.post(std::move(deliver));
+  }
+  return {};
+}
+
+}  // namespace ew

@@ -1,0 +1,47 @@
+// In-process transport: deterministic same-process packet delivery.
+//
+// Used by unit tests and the quickstart example. Delivery is asynchronous
+// (posted through the Executor) so protocol code sees the same re-entrancy
+// it would over real sockets. Fault hooks let tests inject drops, fixed
+// latency and unreachable endpoints; the full network model (fluctuating
+// latency, partitions driven by traces) lives in sim/network_model.hpp.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/executor.hpp"
+#include "net/transport.hpp"
+
+namespace ew {
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(Executor& exec) : exec_(exec) {}
+
+  Status bind(const Endpoint& self, PacketHandler handler) override;
+  void unbind(const Endpoint& self) override;
+  Status send(const Endpoint& from, const Endpoint& to, Packet packet) override;
+
+  /// Fixed one-way delivery latency (default 0: next executor turn).
+  void set_latency(Duration d) { latency_ = d; }
+
+  /// Drop predicate: return true to silently discard a packet.
+  using DropFn = std::function<bool(const Endpoint& from, const Endpoint& to,
+                                    const Packet&)>;
+  void set_drop_fn(DropFn fn) { drop_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t bound_count() const { return bindings_.size(); }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  Executor& exec_;
+  std::unordered_map<Endpoint, PacketHandler, EndpointHash> bindings_;
+  Duration latency_ = 0;
+  DropFn drop_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace ew

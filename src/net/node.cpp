@@ -1,0 +1,173 @@
+#include "net/node.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace ew {
+
+namespace {
+Node::GlobalStats g_stats;
+}
+
+const Node::GlobalStats& Node::global_stats() { return g_stats; }
+void Node::reset_global_stats() { g_stats = GlobalStats{}; }
+
+void Responder::fail(Err code, const std::string& message) const {
+  Writer w;
+  w.str(message);
+  emit(static_cast<std::uint8_t>(code), w.take());
+}
+
+void Responder::emit(std::uint8_t code, const Bytes& payload) const {
+  if (send_) send_(code, payload);
+}
+
+Node::Node(Executor& exec, Transport& transport, Endpoint self)
+    : exec_(exec), transport_(transport), self_(std::move(self)) {}
+
+Node::~Node() { stop(); }
+
+Status Node::start() {
+  if (started_) return Status(Err::kRejected, "node already started");
+  Status s = transport_.bind(self_, [this](IncomingMessage msg) {
+    on_packet(std::move(msg));
+  });
+  started_ = s.ok();
+  return s;
+}
+
+void Node::stop() {
+  if (!started_) return;
+  transport_.unbind(self_);
+  started_ = false;
+  // Abandon outstanding calls WITHOUT invoking their callbacks: stop() is
+  // routinely called during teardown, after the objects owning those
+  // callbacks are gone. Components that need completion guarantees keep
+  // their own liveness flags.
+  for (auto& [seq, p] : pending_) exec_.cancel(p.timer);
+  pending_.clear();
+}
+
+void Node::handle(MsgType type, ServerHandler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Node::call(const Endpoint& to, MsgType type, Bytes payload,
+                Duration timeout, CallCallback cb) {
+  const std::uint64_t seq = next_seq_++;
+  Packet pkt;
+  pkt.kind = PacketKind::kRequest;
+  pkt.type = type;
+  pkt.seq = seq;
+  pkt.payload = std::move(payload);
+
+  Pending p;
+  p.cb = std::move(cb);
+  p.sent = exec_.now();
+  p.type = type;
+  p.to = to;
+  p.timeout = timeout;
+  p.timer = exec_.schedule(timeout, [this, seq, timeout] {
+    ++g_stats.timeouts_fired;
+    g_stats.timeout_wait_us += static_cast<std::uint64_t>(timeout);
+    finish(seq, Error{Err::kTimeout, "request timed out"}, /*success=*/false);
+  });
+  pending_.emplace(seq, std::move(p));
+
+  Status s = transport_.send(self_, to, std::move(pkt));
+  if (!s.ok()) {
+    finish(seq, s.error(), /*success=*/false);
+  }
+}
+
+Status Node::send_oneway(const Endpoint& to, MsgType type, Bytes payload) {
+  Packet pkt;
+  pkt.kind = PacketKind::kOneWay;
+  pkt.type = type;
+  pkt.seq = 0;
+  pkt.payload = std::move(payload);
+  return transport_.send(self_, to, std::move(pkt));
+}
+
+void Node::on_packet(IncomingMessage msg) {
+  if (msg.packet.kind == PacketKind::kResponse) {
+    on_response(msg);
+    return;
+  }
+  auto it = handlers_.find(msg.packet.type);
+  Responder responder;
+  if (msg.packet.kind == PacketKind::kRequest) {
+    // `fired` makes double replies harmless, per the Responder contract.
+    auto fired = std::make_shared<bool>(false);
+    const Endpoint from = msg.from;
+    const std::uint64_t seq = msg.packet.seq;
+    const MsgType type = msg.packet.type;
+    responder = Responder([this, fired, from, seq, type](std::uint8_t code,
+                                                         const Bytes& body) {
+      if (*fired) return;
+      *fired = true;
+      Packet reply;
+      reply.kind = PacketKind::kResponse;
+      reply.type = type;
+      reply.seq = seq;
+      Writer w(1 + body.size());
+      w.u8(code);
+      w.raw(body);
+      reply.payload = w.take();
+      Status s = transport_.send(self_, from, std::move(reply));
+      if (!s.ok()) {
+        EW_DEBUG << "reply to " << from.to_string() << " failed: " << s.to_string();
+      }
+    });
+  }
+  if (it == handlers_.end()) {
+    responder.fail(Err::kRejected, "no handler for type " + std::to_string(msg.packet.type));
+    return;
+  }
+  it->second(msg, responder);
+}
+
+void Node::on_response(const IncomingMessage& msg) {
+  auto it = pending_.find(msg.packet.seq);
+  if (it == pending_.end()) {
+    // Late response after the timer fired: the time-out misjudged a live
+    // server ("needless retries and dynamic reconfigurations", §2.2).
+    ++g_stats.late_responses;
+    return;
+  }
+  // Unwrap the status byte.
+  Reader r(msg.packet.payload);
+  auto code = r.u8();
+  if (!code) {
+    finish(msg.packet.seq, Error{Err::kProtocol, "response missing status byte"},
+           /*success=*/false);
+    return;
+  }
+  if (*code == 0) {
+    auto body = r.raw(r.remaining());
+    finish(msg.packet.seq, std::move(*body), /*success=*/true);
+  } else {
+    auto message = r.str();
+    Error e{static_cast<Err>(*code), message ? *message : std::string{}};
+    // A server-level rejection is still a *successful* round trip for the
+    // purposes of response-time forecasting.
+    finish(msg.packet.seq, std::move(e), /*success=*/true);
+  }
+}
+
+void Node::finish(std::uint64_t seq, Result<Bytes> result, bool success) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  exec_.cancel(p.timer);
+  if (observer_) {
+    observer_(p.to, p.type, exec_.now() - p.sent, success);
+  }
+  if (p.cb) p.cb(std::move(result));
+}
+
+}  // namespace ew

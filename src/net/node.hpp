@@ -1,0 +1,120 @@
+// Node: the request/response endpoint every EveryWare component is built on.
+//
+// A Node owns one bound transport endpoint and multiplexes it between
+//   * registered server handlers (one per message type), and
+//   * outstanding client calls (matched to responses by sequence number).
+//
+// Client calls carry an explicit per-call time-out. The paper found that
+// statically chosen time-outs "frequently misjudged the availability" of
+// servers under SC98's fluctuating load (Section 2.2); Node therefore
+// reports every request's round-trip time (or failure) to an observer, which
+// the forecasting layer uses for dynamic time-out discovery
+// (forecast/timeout.hpp).
+//
+// Response payloads are wrapped in a 1-byte status so servers can signal
+// application-level rejection (e.g. the persistent-state sanity check of
+// Section 3.1.2) distinctly from transport failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "net/executor.hpp"
+#include "net/transport.hpp"
+
+namespace ew {
+
+/// Reply hook handed to server handlers. A handler must call exactly one of
+/// ok()/fail() (calling neither times the client out; calling both is
+/// ignored after the first). Copyable so handlers can defer replies.
+class Responder {
+ public:
+  using SendFn = std::function<void(std::uint8_t code, const Bytes& payload)>;
+  Responder() = default;
+  explicit Responder(SendFn send) : send_(std::move(send)) {}
+
+  void ok(const Bytes& payload = {}) const { emit(0, payload); }
+  void fail(Err code, const std::string& message = {}) const;
+
+ private:
+  void emit(std::uint8_t code, const Bytes& payload) const;
+  SendFn send_;
+};
+
+class Node {
+ public:
+  using ServerHandler = std::function<void(const IncomingMessage&, Responder)>;
+  using CallCallback = std::function<void(Result<Bytes>)>;
+  /// (server, message type, round-trip time, succeeded) for every call.
+  using RttObserver =
+      std::function<void(const Endpoint&, MsgType, Duration, bool)>;
+
+  Node(Executor& exec, Transport& transport, Endpoint self);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Bind the endpoint and begin dispatching. Must be called before use.
+  Status start();
+  /// Unbind. Outstanding call callbacks are abandoned (never invoked): stop
+  /// happens during teardown, when callback owners may already be gone.
+  void stop();
+
+  /// Register the handler for requests/one-ways of the given type.
+  void handle(MsgType type, ServerHandler handler);
+
+  /// Issue a request; `cb` fires exactly once on the executor with the
+  /// response payload, a server-signalled error, or kTimeout.
+  void call(const Endpoint& to, MsgType type, Bytes payload, Duration timeout,
+            CallCallback cb);
+
+  /// Fire-and-forget message.
+  Status send_oneway(const Endpoint& to, MsgType type, Bytes payload);
+
+  void set_rtt_observer(RttObserver obs) { observer_ = std::move(obs); }
+
+  [[nodiscard]] const Endpoint& self() const { return self_; }
+  [[nodiscard]] Executor& executor() { return exec_; }
+  [[nodiscard]] std::size_t outstanding_calls() const { return pending_.size(); }
+
+  /// Process-wide RPC stability counters (Section 2.2's evaluation of
+  /// time-out quality). A "spurious timeout" is a call that timed out whose
+  /// response later arrived — the exact misjudgment the paper blames static
+  /// time-outs for. Aggregated across every Node so scenario-scale benches
+  /// can read them; reset between experiment arms.
+  struct GlobalStats {
+    std::uint64_t timeouts_fired = 0;    // calls that ended by timeout
+    std::uint64_t late_responses = 0;    // responses arriving after timeout
+    std::uint64_t timeout_wait_us = 0;   // total time spent waiting in them
+  };
+  static const GlobalStats& global_stats();
+  static void reset_global_stats();
+
+ private:
+  struct Pending {
+    CallCallback cb;
+    TimerId timer = kInvalidTimer;
+    TimePoint sent = 0;
+    MsgType type = 0;
+    Endpoint to;
+    Duration timeout = 0;
+  };
+
+  void on_packet(IncomingMessage msg);
+  void on_response(const IncomingMessage& msg);
+  void finish(std::uint64_t seq, Result<Bytes> result, bool success);
+
+  Executor& exec_;
+  Transport& transport_;
+  Endpoint self_;
+  bool started_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<MsgType, ServerHandler> handlers_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  RttObserver observer_;
+};
+
+}  // namespace ew

@@ -1,0 +1,72 @@
+#include "net/packet.hpp"
+
+namespace ew {
+
+Bytes encode_packet(const Packet& p) {
+  Writer w(wire::kHeaderSize + p.payload.size());
+  w.u32(wire::kMagic);
+  w.u8(wire::kVersion);
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u16(p.type);
+  w.u64(p.seq);
+  w.u32(static_cast<std::uint32_t>(p.payload.size()));
+  w.raw(p.payload);
+  return w.take();
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> data) {
+  if (poisoned_) return;
+  // Compact the consumed prefix occasionally so the buffer does not grow
+  // without bound on long-lived connections.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+Result<Packet> FrameParser::next() {
+  if (poisoned_) return Error{Err::kProtocol, "stream previously poisoned"};
+  if (buffered() < wire::kHeaderSize) {
+    return Error{Err::kUnavailable, "need header bytes"};
+  }
+  Reader r(std::span<const std::uint8_t>(buf_).subspan(pos_));
+  const auto magic = r.u32();
+  const auto version = r.u8();
+  const auto kind = r.u8();
+  const auto type = r.u16();
+  const auto seq = r.u64();
+  const auto len = r.u32();
+  // Header fits (checked above), so these reads cannot fail.
+  if (*magic != wire::kMagic) {
+    poisoned_ = true;
+    return Error{Err::kProtocol, "bad magic"};
+  }
+  if (*version != wire::kVersion) {
+    poisoned_ = true;
+    return Error{Err::kProtocol, "unsupported version " + std::to_string(*version)};
+  }
+  if (*kind > static_cast<std::uint8_t>(PacketKind::kResponse)) {
+    poisoned_ = true;
+    return Error{Err::kProtocol, "bad packet kind"};
+  }
+  if (*len > wire::kMaxPayload) {
+    poisoned_ = true;
+    return Error{Err::kProtocol, "payload length " + std::to_string(*len) +
+                                     " exceeds limit"};
+  }
+  if (buffered() < wire::kHeaderSize + *len) {
+    return Error{Err::kUnavailable, "need payload bytes"};
+  }
+  Packet p;
+  p.kind = static_cast<PacketKind>(*kind);
+  p.type = *type;
+  p.seq = *seq;
+  const std::size_t payload_at = pos_ + wire::kHeaderSize;
+  p.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(payload_at),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(payload_at + *len));
+  pos_ = payload_at + *len;
+  return p;
+}
+
+}  // namespace ew

@@ -1,0 +1,76 @@
+// The EveryWare packet layer ("lingua franca", paper Section 2.1).
+//
+// The paper layered "rudimentary packet semantics" over TCP streams "to
+// enable message typing and delineate record boundaries", following the
+// netperf/NWS packet format. We reproduce that: every message travels as a
+// fixed header (magic, version, kind, application message type, sequence
+// number, payload length) followed by an opaque payload. FrameParser
+// re-assembles packets from an arbitrary-chunked byte stream, which is what
+// makes the same protocol code usable over both TCP and the simulated
+// transport.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+
+namespace ew {
+
+/// Application-level message type (the "message typing" of Section 2.1).
+using MsgType = std::uint16_t;
+
+/// Transport-level packet role.
+enum class PacketKind : std::uint8_t {
+  kOneWay = 0,    // fire-and-forget message
+  kRequest = 1,   // expects a kResponse with the same sequence number
+  kResponse = 2,  // reply to a kRequest
+};
+
+/// A framed message.
+struct Packet {
+  PacketKind kind = PacketKind::kOneWay;
+  MsgType type = 0;
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
+
+namespace wire {
+/// 'EVWR' — rejects cross-talk from non-EveryWare peers on the same port.
+constexpr std::uint32_t kMagic = 0x45565752;
+constexpr std::uint8_t kVersion = 1;
+/// Header: magic(4) version(1) kind(1) type(2) seq(8) length(4).
+constexpr std::size_t kHeaderSize = 20;
+/// Upper bound on payload size; a stream producing a larger length field is
+/// treated as corrupt rather than buffered indefinitely.
+constexpr std::size_t kMaxPayload = 16 * 1024 * 1024;
+}  // namespace wire
+
+/// Serialize a packet (header + payload) onto a byte buffer.
+Bytes encode_packet(const Packet& p);
+
+/// Incremental stream parser: feed arbitrary byte chunks, pop whole packets.
+/// After any error the parser is poisoned (the stream framing is lost and the
+/// connection must be dropped, as the paper's packet layer does).
+class FrameParser {
+ public:
+  /// Append raw bytes received from the stream.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Extract the next complete packet, if any.
+  /// Returns: packet; or Err::kProtocol if the stream is corrupt; or
+  /// Err::kUnavailable when more bytes are needed (not an error condition).
+  Result<Packet> next();
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace ew

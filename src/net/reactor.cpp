@@ -1,0 +1,144 @@
+#include "net/reactor.hpp"
+
+#include <sys/select.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace ew {
+
+Reactor::Reactor() {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    throw std::runtime_error("Reactor: pipe() failed");
+  }
+  wake_read_ = Fd(pipefd[0]);
+  wake_write_ = Fd(pipefd[1]);
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+}
+
+Reactor::~Reactor() = default;
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint8_t byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+TimerId Reactor::schedule(Duration delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  const TimePoint deadline = clock_.now() + std::max<Duration>(delay, 0);
+  timers_.emplace(std::make_pair(deadline, id), std::move(fn));
+  timer_deadline_.emplace(id, deadline);
+  return id;
+}
+
+void Reactor::cancel(TimerId id) {
+  auto it = timer_deadline_.find(id);
+  if (it == timer_deadline_.end()) return;
+  timers_.erase(std::make_pair(it->second, id));
+  timer_deadline_.erase(it);
+}
+
+void Reactor::watch_readable(int fd, std::function<void()> on_readable) {
+  read_watchers_[fd] = std::move(on_readable);
+}
+
+void Reactor::watch_writable(int fd, std::function<void()> on_writable) {
+  write_watchers_[fd] = std::move(on_writable);
+}
+
+void Reactor::unwatch_readable(int fd) { read_watchers_.erase(fd); }
+void Reactor::unwatch_writable(int fd) { write_watchers_.erase(fd); }
+
+void Reactor::run() { loop_until(0, /*use_deadline=*/false); }
+
+void Reactor::run_for(Duration d) { loop_until(clock_.now() + d, /*use_deadline=*/true); }
+
+void Reactor::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+TimePoint Reactor::drain_ready() {
+  // Posted work first.
+  for (;;) {
+    std::deque<std::function<void()>> batch;
+    {
+      std::lock_guard lock(post_mutex_);
+      batch.swap(posted_);
+    }
+    if (batch.empty()) break;
+    for (auto& fn : batch) fn();
+  }
+  // Due timers.
+  const TimePoint now = clock_.now();
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto node = timers_.extract(timers_.begin());
+    timer_deadline_.erase(node.key().second);
+    node.mapped()();
+  }
+  return timers_.empty() ? -1 : timers_.begin()->first.first;
+}
+
+void Reactor::loop_until(TimePoint deadline, bool use_deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    const TimePoint next_timer = drain_ready();
+    if (stop_requested_) break;
+    const TimePoint now = clock_.now();
+    if (use_deadline && now >= deadline) break;
+
+    // Select timeout: until the next timer / loop deadline, capped.
+    Duration wait = 50 * kMillisecond;
+    if (next_timer >= 0) wait = std::min(wait, std::max<Duration>(next_timer - now, 0));
+    if (use_deadline) wait = std::min(wait, std::max<Duration>(deadline - now, 0));
+
+    fd_set rfds;
+    fd_set wfds;
+    FD_ZERO(&rfds);
+    FD_ZERO(&wfds);
+    int maxfd = wake_read_.get();
+    FD_SET(wake_read_.get(), &rfds);
+    for (const auto& [fd, cb] : read_watchers_) {
+      FD_SET(fd, &rfds);
+      maxfd = std::max(maxfd, fd);
+    }
+    for (const auto& [fd, cb] : write_watchers_) {
+      FD_SET(fd, &wfds);
+      maxfd = std::max(maxfd, fd);
+    }
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(wait / kSecond);
+    tv.tv_usec = static_cast<suseconds_t>(wait % kSecond);
+    const int sel = ::select(maxfd + 1, &rfds, &wfds, nullptr, &tv);
+    if (sel < 0) {
+      if (errno == EINTR) continue;
+      EW_ERROR << "Reactor: select failed, stopping";
+      break;
+    }
+    if (FD_ISSET(wake_read_.get(), &rfds)) {
+      std::uint8_t buf[64];
+      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    // Collect ready callbacks before invoking: a callback may mutate the
+    // watcher maps (closing connections), which would invalidate iteration.
+    std::vector<std::function<void()>> ready;
+    for (const auto& [fd, cb] : read_watchers_) {
+      if (FD_ISSET(fd, &rfds)) ready.push_back(cb);
+    }
+    for (const auto& [fd, cb] : write_watchers_) {
+      if (FD_ISSET(fd, &wfds)) ready.push_back(cb);
+    }
+    for (auto& cb : ready) cb();
+  }
+}
+
+}  // namespace ew

@@ -1,0 +1,68 @@
+// Reactor: the real-time Executor.
+//
+// A single-threaded select() loop with a timer heap — the shape of every
+// EveryWare server process in the paper (single-threaded, select()-driven,
+// no signals; Section 5.1). The TcpTransport registers its sockets here.
+// post() is thread-safe via a self-pipe so examples can feed work from other
+// threads; everything else must run on the reactor thread.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "net/executor.hpp"
+#include "net/tcp.hpp"
+
+namespace ew {
+
+class Reactor final : public Executor {
+ public:
+  Reactor();
+  ~Reactor() override;
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  [[nodiscard]] const Clock& clock() const override { return clock_; }
+  void post(std::function<void()> fn) override;
+  TimerId schedule(Duration delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
+  /// Watch a socket; `on_readable` runs on the reactor thread whenever the
+  /// fd becomes readable. One watcher per fd.
+  void watch_readable(int fd, std::function<void()> on_readable);
+  /// Watch for writability (used to flush blocked outboxes). One per fd.
+  void watch_writable(int fd, std::function<void()> on_writable);
+  void unwatch_readable(int fd);
+  void unwatch_writable(int fd);
+
+  /// Process events until stop() is called.
+  void run();
+  /// Process events for (approximately) the given real-time duration.
+  void run_for(Duration d);
+  /// Make run()/run_for() return as soon as possible. Thread-safe.
+  void stop();
+
+ private:
+  void loop_until(TimePoint deadline, bool use_deadline);
+  /// Run posted fns and due timers; returns the next timer deadline (or -1).
+  TimePoint drain_ready();
+
+  RealClock clock_;
+  Fd wake_read_;
+  Fd wake_write_;
+  std::mutex post_mutex_;
+  std::deque<std::function<void()>> posted_;
+  // Timers: ordered by (deadline, id) for stable firing order.
+  std::map<std::pair<TimePoint, TimerId>, std::function<void()>> timers_;
+  std::unordered_map<TimerId, TimePoint> timer_deadline_;
+  TimerId next_timer_ = 1;
+  std::unordered_map<int, std::function<void()>> read_watchers_;
+  std::unordered_map<int, std::function<void()>> write_watchers_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace ew

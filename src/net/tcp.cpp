@@ -1,0 +1,162 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ew {
+
+namespace {
+
+std::string errno_str() { return std::strerror(errno); }
+
+Result<in_addr_t> resolve(const std::string& host) {
+  if (host == "localhost") return htonl(INADDR_LOOPBACK);
+  in_addr addr{};
+  if (inet_pton(AF_INET, host.c_str(), &addr) == 1) return addr.s_addr;
+  return Error{Err::kRefused, "unresolvable host (numeric IPv4 only): " + host};
+}
+
+timeval to_timeval(Duration d) {
+  if (d < 0) d = 0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(d / kSecond);
+  tv.tv_usec = static_cast<suseconds_t>(d % kSecond);
+  return tv;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status(Err::kInternal, "fcntl: " + errno_str());
+  }
+  return {};
+}
+
+Result<Fd> tcp_listen(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Error{Err::kInternal, "socket: " + errno_str()};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Error{Err::kRefused, "bind port " + std::to_string(port) + ": " + errno_str()};
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Error{Err::kInternal, "listen: " + errno_str()};
+  }
+  if (Status s = set_nonblocking(fd); !s.ok()) return s.error();
+  return fd;
+}
+
+Result<std::uint16_t> local_port(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Error{Err::kInternal, "getsockname: " + errno_str()};
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> tcp_connect(const Endpoint& to, Duration timeout) {
+  auto ip = resolve(to.host);
+  if (!ip) return ip.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Error{Err::kInternal, "socket: " + errno_str()};
+  if (Status s = set_nonblocking(fd); !s.ok()) return s.error();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = *ip;
+  addr.sin_port = htons(to.port);
+
+  const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) return fd;  // immediate success (loopback)
+  if (errno != EINPROGRESS) {
+    return Error{Err::kRefused, "connect " + to.to_string() + ": " + errno_str()};
+  }
+
+  fd_set wfds;
+  FD_ZERO(&wfds);
+  FD_SET(fd.get(), &wfds);
+  timeval tv = to_timeval(timeout);
+  const int sel = ::select(fd.get() + 1, nullptr, &wfds, nullptr, &tv);
+  if (sel == 0) return Error{Err::kTimeout, "connect " + to.to_string() + " timed out"};
+  if (sel < 0) return Error{Err::kInternal, "select: " + errno_str()};
+
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 || soerr != 0) {
+    return Error{Err::kRefused,
+                 "connect " + to.to_string() + ": " + std::strerror(soerr ? soerr : errno)};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<Fd> tcp_accept(const Fd& listener) {
+  Fd fd(::accept(listener.get(), nullptr, nullptr));
+  if (!fd.valid()) {
+    if (errno == EWOULDBLOCK || errno == EAGAIN) {
+      return Error{Err::kUnavailable, "no pending connection"};
+    }
+    return Error{Err::kInternal, "accept: " + errno_str()};
+  }
+  if (Status s = set_nonblocking(fd); !s.ok()) return s.error();
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<std::size_t> send_some(const Fd& fd, std::span<const std::uint8_t> data) {
+  if (data.empty()) return std::size_t{0};
+  const ssize_t n = ::send(fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (n >= 0) return static_cast<std::size_t>(n);
+  if (errno == EWOULDBLOCK || errno == EAGAIN) return std::size_t{0};
+  return Error{Err::kClosed, "send: " + errno_str()};
+}
+
+Result<std::size_t> recv_some(const Fd& fd, Bytes& out) {
+  std::uint8_t buf[16384];
+  const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+  if (n > 0) {
+    out.insert(out.end(), buf, buf + n);
+    return static_cast<std::size_t>(n);
+  }
+  if (n == 0) return Error{Err::kClosed, "peer closed"};
+  if (errno == EWOULDBLOCK || errno == EAGAIN) return std::size_t{0};
+  return Error{Err::kClosed, "recv: " + errno_str()};
+}
+
+Result<bool> wait_readable(const Fd& fd, Duration timeout) {
+  fd_set rfds;
+  FD_ZERO(&rfds);
+  FD_SET(fd.get(), &rfds);
+  timeval tv = to_timeval(timeout);
+  const int sel = ::select(fd.get() + 1, &rfds, nullptr, nullptr, &tv);
+  if (sel < 0) return Error{Err::kInternal, "select: " + errno_str()};
+  return sel > 0;
+}
+
+}  // namespace ew

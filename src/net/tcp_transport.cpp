@@ -1,0 +1,228 @@
+#include "net/tcp_transport.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace ew {
+
+namespace {
+
+/// Wrap a packet's payload with (src, dst) routing for the wire.
+Packet route(const Packet& p, const Endpoint& src, const Endpoint& dst) {
+  Writer w(p.payload.size() + 64);
+  w.str(src.host);
+  w.u16(src.port);
+  w.str(dst.host);
+  w.u16(dst.port);
+  w.raw(p.payload);
+  Packet out;
+  out.kind = p.kind;
+  out.type = p.type;
+  out.seq = p.seq;
+  out.payload = w.take();
+  return out;
+}
+
+struct Routed {
+  Endpoint src;
+  Endpoint dst;
+  Packet inner;
+};
+
+Result<Routed> unroute(Packet&& p) {
+  Reader r(p.payload);
+  auto sh = r.str();
+  if (!sh) return sh.error();
+  auto sp = r.u16();
+  if (!sp) return sp.error();
+  auto dh = r.str();
+  if (!dh) return dh.error();
+  auto dp = r.u16();
+  if (!dp) return dp.error();
+  auto body = r.raw(r.remaining());
+  Routed out;
+  out.src = Endpoint{std::move(*sh), *sp};
+  out.dst = Endpoint{std::move(*dh), *dp};
+  out.inner.kind = p.kind;
+  out.inner.type = p.type;
+  out.inner.seq = p.seq;
+  out.inner.payload = std::move(*body);
+  return out;
+}
+
+}  // namespace
+
+TcpTransport::~TcpTransport() {
+  for (auto& [ep, l] : listeners_) reactor_.unwatch_readable(l.fd.get());
+  for (auto& [fd, c] : conns_) {
+    reactor_.unwatch_readable(fd);
+    if (c.writable_watched) reactor_.unwatch_writable(fd);
+  }
+}
+
+Status TcpTransport::bind(const Endpoint& self, PacketHandler handler) {
+  if (listeners_.contains(self)) {
+    return Status(Err::kRejected, "endpoint already bound: " + self.to_string());
+  }
+  auto fd = tcp_listen(self.port);
+  if (!fd) return fd.error();
+  const int raw = fd->get();
+  listeners_.emplace(self, Listener{std::move(*fd), std::move(handler)});
+  reactor_.watch_readable(raw, [this, raw] { on_listener_readable(raw); });
+  return {};
+}
+
+void TcpTransport::unbind(const Endpoint& self) {
+  auto it = listeners_.find(self);
+  if (it == listeners_.end()) return;
+  reactor_.unwatch_readable(it->second.fd.get());
+  listeners_.erase(it);
+}
+
+int TcpTransport::ensure_connection(const Endpoint& to, Status& status) {
+  if (auto it = peer_conn_.find(to); it != peer_conn_.end()) return it->second;
+  auto fd = tcp_connect(to, connect_timeout_);
+  if (!fd) {
+    status = fd.error();
+    return -1;
+  }
+  const int raw = fd->get();
+  Conn conn;
+  conn.fd = std::move(*fd);
+  conn.peer = to;
+  conns_.emplace(raw, std::move(conn));
+  peer_conn_[to] = raw;
+  reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
+  return raw;
+}
+
+Status TcpTransport::send(const Endpoint& from, const Endpoint& to, Packet packet) {
+  Status status;
+  const int fd = ensure_connection(to, status);
+  if (fd < 0) return status;
+  const Bytes frame = encode_packet(route(packet, from, to));
+  auto& conn = conns_.at(fd);
+  conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  return flush(fd);
+}
+
+Status TcpTransport::flush(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return Status(Err::kClosed, "connection gone");
+  Conn& c = it->second;
+  while (c.outbox_pos < c.outbox.size()) {
+    auto n = send_some(c.fd, std::span(c.outbox).subspan(c.outbox_pos));
+    if (!n) {
+      close_conn(fd);
+      return n.error();
+    }
+    if (*n == 0) {
+      // Socket buffer full; resume when writable.
+      if (!c.writable_watched) {
+        c.writable_watched = true;
+        reactor_.watch_writable(fd, [this, fd] { (void)flush(fd); });
+      }
+      return {};
+    }
+    c.outbox_pos += *n;
+  }
+  c.outbox.clear();
+  c.outbox_pos = 0;
+  if (c.writable_watched) {
+    c.writable_watched = false;
+    reactor_.unwatch_writable(fd);
+  }
+  return {};
+}
+
+void TcpTransport::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  reactor_.unwatch_readable(fd);
+  if (it->second.writable_watched) reactor_.unwatch_writable(fd);
+  if (it->second.peer.valid()) {
+    auto pit = peer_conn_.find(it->second.peer);
+    if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
+  }
+  conns_.erase(it);
+}
+
+void TcpTransport::on_listener_readable(int listener_fd) {
+  for (;;) {
+    // Find the listener by fd (there are at most a handful).
+    const Listener* listener = nullptr;
+    for (const auto& [ep, l] : listeners_) {
+      if (l.fd.get() == listener_fd) {
+        listener = &l;
+        break;
+      }
+    }
+    if (listener == nullptr) return;
+    auto accepted = tcp_accept(listener->fd);
+    if (!accepted) return;  // kUnavailable: drained
+    const int raw = accepted->get();
+    Conn conn;
+    conn.fd = std::move(*accepted);
+    conns_.emplace(raw, std::move(conn));
+    reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
+  }
+}
+
+void TcpTransport::on_conn_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Bytes chunk;
+  auto n = recv_some(it->second.fd, chunk);
+  if (!n) {
+    close_conn(fd);
+    return;
+  }
+  if (*n == 0) return;
+  it->second.parser.feed(chunk);
+  dispatch_frames(fd);
+}
+
+void TcpTransport::dispatch_frames(int fd) {
+  for (;;) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // a handler may have closed us
+    auto pkt = it->second.parser.next();
+    if (!pkt) {
+      if (pkt.code() == Err::kProtocol) {
+        EW_WARN << "TcpTransport: corrupt stream from "
+                << it->second.peer.to_string() << ", dropping connection";
+        close_conn(fd);
+      }
+      return;
+    }
+    auto routed = unroute(std::move(*pkt));
+    if (!routed) {
+      EW_WARN << "TcpTransport: bad routing header, dropping connection";
+      close_conn(fd);
+      return;
+    }
+    // Learn/refresh the peer's routable address so replies reuse this
+    // connection instead of dialling back.
+    if (routed->src.valid()) {
+      Conn& c = conns_.at(fd);
+      if (c.peer != routed->src) {
+        if (c.peer.valid()) {
+          auto pit = peer_conn_.find(c.peer);
+          if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
+        }
+        c.peer = routed->src;
+        peer_conn_[c.peer] = fd;
+      }
+    }
+    auto lit = listeners_.find(routed->dst);
+    if (lit == listeners_.end()) {
+      EW_DEBUG << "TcpTransport: no local endpoint " << routed->dst.to_string();
+      continue;
+    }
+    lit->second.handler(IncomingMessage{routed->src, std::move(routed->inner)});
+  }
+}
+
+}  // namespace ew

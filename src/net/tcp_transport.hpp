@@ -1,0 +1,66 @@
+// TcpTransport: the lingua franca over real TCP sockets.
+//
+// Each frame on the wire is a standard EveryWare packet whose payload is
+// prefixed with (source endpoint, destination endpoint) routing — this lets
+// any number of components share one process and, crucially, lets replies
+// reuse the connection a request arrived on (components are not always
+// re-connectable across the federated environments of Section 5).
+//
+// All methods must be called on the owning Reactor's thread. Connections are
+// created lazily on first send, cached per peer endpoint, and torn down on
+// any socket error; reliability above that is the job of the time-out /
+// retry machinery in Node and the forecasting layer.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/reactor.hpp"
+#include "net/transport.hpp"
+
+namespace ew {
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(Reactor& reactor) : reactor_(reactor) {}
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status bind(const Endpoint& self, PacketHandler handler) override;
+  void unbind(const Endpoint& self) override;
+  Status send(const Endpoint& from, const Endpoint& to, Packet packet) override;
+
+  /// Blocking connect budget for lazily created connections (default 2 s).
+  void set_connect_timeout(Duration d) { connect_timeout_ = d; }
+
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameParser parser;
+    Bytes outbox;
+    std::size_t outbox_pos = 0;
+    Endpoint peer;  // last known routable address of the other side
+    bool writable_watched = false;
+  };
+  struct Listener {
+    Fd fd;
+    PacketHandler handler;
+  };
+
+  Status flush(int fd);
+  void close_conn(int fd);
+  void on_conn_readable(int fd);
+  void on_listener_readable(int listener_fd);
+  void dispatch_frames(int fd);
+  int ensure_connection(const Endpoint& to, Status& status);
+
+  Reactor& reactor_;
+  Duration connect_timeout_ = 2 * kSecond;
+  std::unordered_map<Endpoint, Listener, EndpointHash> listeners_;
+  std::unordered_map<int, Conn> conns_;                       // keyed by fd
+  std::unordered_map<Endpoint, int, EndpointHash> peer_conn_;  // peer -> fd
+};
+
+}  // namespace ew

@@ -1,0 +1,157 @@
+#include "ramsey/clique.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace ew::ramsey {
+
+namespace {
+
+/// Adjacency rows for one color, captured once per call.
+struct Adj {
+  std::array<std::uint64_t, ColoredGraph::kMaxVertices> rows{};
+};
+
+Adj make_adj(const ColoredGraph& g, Color c) {
+  Adj a;
+  for (int v = 0; v < g.order(); ++v) {
+    a.rows[static_cast<std::size_t>(v)] = g.neighbors(c, v);
+  }
+  return a;
+}
+
+/// Count `need`-cliques whose vertices all lie in `cand`, enumerating in
+/// increasing vertex order. `cand` is already restricted to common neighbors
+/// of the clique prefix. Charges the counter per word operation.
+std::uint64_t count_rec(const Adj& adj, std::uint64_t cand, int need,
+                        OpsCounter& ops) {
+  if (need == 1) {
+    ops.charge(1);  // popcount
+    return static_cast<std::uint64_t>(std::popcount(cand));
+  }
+  std::uint64_t total = 0;
+  std::uint64_t rest = cand;
+  while (rest != 0) {
+    const int v = std::countr_zero(rest);
+    rest &= rest - 1;
+    // ctz + clear + intersect + loop test ≈ 4 word ops.
+    ops.charge(4);
+    const std::uint64_t next = rest & adj.rows[static_cast<std::size_t>(v)];
+    if (need == 2) {
+      ops.charge(1);
+      total += static_cast<std::uint64_t>(std::popcount(next));
+    } else {
+      total += count_rec(adj, next, need - 1, ops);
+    }
+  }
+  return total;
+}
+
+void check_k(int k) {
+  if (k < 2 || k > 8) {
+    throw std::invalid_argument("clique size out of supported range [2,8]: " +
+                                std::to_string(k));
+  }
+}
+
+}  // namespace
+
+std::uint64_t count_mono_cliques(const ColoredGraph& g, int k, Color c,
+                                 OpsCounter& ops) {
+  check_k(k);
+  const Adj adj = make_adj(g, c);
+  return count_rec(adj, g.vertex_mask(), k, ops);
+}
+
+std::uint64_t count_bad_cliques(const ColoredGraph& g, int k, OpsCounter& ops) {
+  return count_bad_cliques(g, k, k, ops);
+}
+
+std::uint64_t count_bad_cliques(const ColoredGraph& g, int k_red, int k_blue,
+                                OpsCounter& ops) {
+  return count_mono_cliques(g, k_red, Color::kRed, ops) +
+         count_mono_cliques(g, k_blue, Color::kBlue, ops);
+}
+
+std::uint64_t cliques_through_edge(const ColoredGraph& g, int k, int i, int j,
+                                   Color c, OpsCounter& ops) {
+  check_k(k);
+  const Adj adj = make_adj(g, c);
+  ops.charge(1);
+  const std::uint64_t common = adj.rows[static_cast<std::size_t>(i)] &
+                               adj.rows[static_cast<std::size_t>(j)];
+  if (k == 2) return 1;  // the edge itself
+  return count_rec(adj, common, k - 2, ops);
+}
+
+std::int64_t flip_delta(const ColoredGraph& g, int k, int i, int j,
+                        OpsCounter& ops) {
+  return flip_delta(g, k, k, i, j, ops);
+}
+
+std::int64_t flip_delta(const ColoredGraph& g, int k_red, int k_blue, int i,
+                        int j, OpsCounter& ops) {
+  const Color cur = g.color(i, j);
+  const Color nxt = other(cur);
+  const int k_cur = cur == Color::kRed ? k_red : k_blue;
+  const int k_nxt = nxt == Color::kRed ? k_red : k_blue;
+  // Cliques of the current color that contain (i,j) vanish; monochromatic
+  // k-sets of the other color that were blocked only by this edge appear.
+  // Both are (k-2)-clique counts in the relevant common neighborhoods and
+  // neither depends on the color of (i,j) itself.
+  const auto destroyed = cliques_through_edge(g, k_cur, i, j, cur, ops);
+  const Adj adj = make_adj(g, nxt);
+  ops.charge(1);
+  const std::uint64_t common = adj.rows[static_cast<std::size_t>(i)] &
+                               adj.rows[static_cast<std::size_t>(j)];
+  const std::uint64_t created =
+      (k_nxt == 2) ? 1 : count_rec(adj, common, k_nxt - 2, ops);
+  return static_cast<std::int64_t>(created) - static_cast<std::int64_t>(destroyed);
+}
+
+std::uint64_t count_mono_cliques_reference(const ColoredGraph& g, int k, Color c) {
+  check_k(k);
+  const int n = g.order();
+  std::vector<int> pick(static_cast<std::size_t>(k));
+  std::uint64_t total = 0;
+  // Enumerate k-subsets with an explicit odometer.
+  for (int i = 0; i < k; ++i) pick[static_cast<std::size_t>(i)] = i;
+  if (k > n) return 0;
+  for (;;) {
+    bool mono = true;
+    for (int a = 0; a < k && mono; ++a) {
+      for (int b = a + 1; b < k && mono; ++b) {
+        if (g.color(pick[static_cast<std::size_t>(a)],
+                    pick[static_cast<std::size_t>(b)]) != c) {
+          mono = false;
+        }
+      }
+    }
+    if (mono) ++total;
+    // Advance the odometer.
+    int pos = k - 1;
+    while (pos >= 0 &&
+           pick[static_cast<std::size_t>(pos)] == n - k + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++pick[static_cast<std::size_t>(pos)];
+    for (int q = pos + 1; q < k; ++q) {
+      pick[static_cast<std::size_t>(q)] = pick[static_cast<std::size_t>(q - 1)] + 1;
+    }
+  }
+  return total;
+}
+
+bool is_counterexample(const ColoredGraph& g, int k) {
+  return is_counterexample(g, k, k);
+}
+
+bool is_counterexample(const ColoredGraph& g, int k_red, int k_blue) {
+  OpsCounter ops;
+  return count_bad_cliques(g, k_red, k_blue, ops) == 0;
+}
+
+}  // namespace ew::ramsey

@@ -1,0 +1,65 @@
+// Instrumented monochromatic-clique counting kernels.
+//
+// The paper's performance numbers (Figures 2-4) count "integer test and
+// arithmetic instructions" with counters inserted "after every integer test
+// and arithmetic operation" (Section 4). OpsCounter is that counter: the
+// kernels charge it for each word-level integer operation they perform, so
+// the rates the benchmark harness reports are an operation-for-operation
+// analogue of the paper's conservative methodology.
+#pragma once
+
+#include <cstdint>
+
+#include "ramsey/graph.hpp"
+
+namespace ew::ramsey {
+
+/// Count of "useful" integer operations delivered to the application.
+struct OpsCounter {
+  std::uint64_t ops = 0;
+  void charge(std::uint64_t n) { ops += n; }
+};
+
+/// Number of monochromatic k-cliques of the given color.
+/// k must be in [2, 8] (R5/R6 search needs at most 6).
+std::uint64_t count_mono_cliques(const ColoredGraph& g, int k, Color c,
+                                 OpsCounter& ops);
+
+/// Total monochromatic k-cliques over both colors — the search "energy";
+/// zero means `g` is a counter-example witnessing R(k,k) > order.
+std::uint64_t count_bad_cliques(const ColoredGraph& g, int k, OpsCounter& ops);
+
+/// Asymmetric energy: red K_{k_red} plus blue K_{k_blue}. Zero means `g`
+/// witnesses R(k_red, k_blue) > order (the general classical Ramsey case;
+/// the paper's application is the symmetric k_red == k_blue instance).
+std::uint64_t count_bad_cliques(const ColoredGraph& g, int k_red, int k_blue,
+                                OpsCounter& ops);
+
+/// Number of monochromatic k-cliques of color c that contain edge (i, j),
+/// assuming edge (i, j) currently has color c. Used for O(1)-ish local
+/// search deltas: flipping (i, j) destroys exactly this many color-c cliques
+/// and creates cliques_through_edge(..., other(c)) computed pre-flip.
+std::uint64_t cliques_through_edge(const ColoredGraph& g, int k, int i, int j,
+                                   Color c, OpsCounter& ops);
+
+/// Energy change if edge (i, j) were flipped (negative is an improvement).
+std::int64_t flip_delta(const ColoredGraph& g, int k, int i, int j,
+                        OpsCounter& ops);
+
+/// Asymmetric flip delta against the R(k_red, k_blue) energy.
+std::int64_t flip_delta(const ColoredGraph& g, int k_red, int k_blue, int i,
+                        int j, OpsCounter& ops);
+
+/// Reference implementation by explicit vertex-subset enumeration; O(n^k).
+/// Used only by tests to validate the bitmask kernels.
+std::uint64_t count_mono_cliques_reference(const ColoredGraph& g, int k, Color c);
+
+/// True iff `g` has no monochromatic k-clique in either color — the
+/// persistent state manager's sanity check for stored counter-examples
+/// (Section 3.1.2).
+bool is_counterexample(const ColoredGraph& g, int k);
+
+/// Asymmetric variant: no red K_{k_red} and no blue K_{k_blue}.
+bool is_counterexample(const ColoredGraph& g, int k_red, int k_blue);
+
+}  // namespace ew::ramsey

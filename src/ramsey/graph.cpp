@@ -1,0 +1,156 @@
+#include "ramsey/graph.hpp"
+
+#include <bit>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ew::ramsey {
+
+ColoredGraph::ColoredGraph(int n) : n_(n) {
+  if (n < 1 || n > kMaxVertices) {
+    throw std::invalid_argument("ColoredGraph: order out of range: " +
+                                std::to_string(n));
+  }
+}
+
+void ColoredGraph::check_pair(int i, int j) const {
+  if (i < 0 || j < 0 || i >= n_ || j >= n_ || i == j) {
+    throw std::invalid_argument("ColoredGraph: bad vertex pair (" +
+                                std::to_string(i) + "," + std::to_string(j) + ")");
+  }
+}
+
+Color ColoredGraph::color(int i, int j) const {
+  check_pair(i, j);
+  return (red_[static_cast<std::size_t>(i)] >> j) & 1u ? Color::kRed
+                                                       : Color::kBlue;
+}
+
+void ColoredGraph::set_color(int i, int j, Color c) {
+  check_pair(i, j);
+  const auto bi = static_cast<std::size_t>(i);
+  const auto bj = static_cast<std::size_t>(j);
+  if (c == Color::kRed) {
+    red_[bi] |= (1ULL << j);
+    red_[bj] |= (1ULL << i);
+  } else {
+    red_[bi] &= ~(1ULL << j);
+    red_[bj] &= ~(1ULL << i);
+  }
+}
+
+std::uint64_t ColoredGraph::neighbors(Color c, int v) const {
+  if (v < 0 || v >= n_) throw std::invalid_argument("ColoredGraph: bad vertex");
+  const std::uint64_t self = 1ULL << v;
+  if (c == Color::kRed) return red_[static_cast<std::size_t>(v)] & ~self;
+  return vertex_mask() & ~red_[static_cast<std::size_t>(v)] & ~self;
+}
+
+std::uint64_t ColoredGraph::vertex_mask() const {
+  return n_ == 64 ? ~0ULL : (1ULL << n_) - 1;
+}
+
+ColoredGraph ColoredGraph::random(int n, Rng& rng) {
+  ColoredGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.set_color(i, j, rng.chance(0.5) ? Color::kRed : Color::kBlue);
+    }
+  }
+  return g;
+}
+
+Result<ColoredGraph> ColoredGraph::circulant(int n,
+                                             const std::vector<int>& red_offsets) {
+  if (n < 1 || n > kMaxVertices) return Error{Err::kRejected, "order out of range"};
+  std::set<int> offsets;
+  for (int d : red_offsets) {
+    const int m = ((d % n) + n) % n;
+    if (m == 0) return Error{Err::kRejected, "offset 0 is not an edge"};
+    offsets.insert(m);
+  }
+  for (int d : offsets) {
+    if (!offsets.contains(n - d)) {
+      return Error{Err::kRejected,
+                   "offset set not symmetric: missing " + std::to_string(n - d)};
+    }
+  }
+  ColoredGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (offsets.contains((j - i) % n)) g.set_color(i, j, Color::kRed);
+    }
+  }
+  return g;
+}
+
+Result<ColoredGraph> ColoredGraph::paley(int q) {
+  if (q < 5 || q > kMaxVertices) return Error{Err::kRejected, "order out of range"};
+  for (int d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return Error{Err::kRejected, "Paley order must be prime"};
+  }
+  if (q % 4 != 1) return Error{Err::kRejected, "Paley order must be 1 mod 4"};
+  std::vector<int> residues;
+  std::set<int> seen;
+  for (int x = 1; x < q; ++x) {
+    const int r = (x * x) % q;
+    if (seen.insert(r).second) residues.push_back(r);
+  }
+  return circulant(q, residues);
+}
+
+Bytes ColoredGraph::serialize() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(n_));
+  for (int i = 0; i < n_; ++i) w.u64(red_[static_cast<std::size_t>(i)]);
+  return w.take();
+}
+
+Result<ColoredGraph> ColoredGraph::deserialize(const Bytes& data) {
+  Reader r(data);
+  auto n = r.u8();
+  if (!n) return n.error();
+  if (*n < 1 || *n > kMaxVertices) return Error{Err::kProtocol, "bad graph order"};
+  ColoredGraph g(*n);
+  for (int i = 0; i < *n; ++i) {
+    auto row = r.u64();
+    if (!row) return row.error();
+    g.red_[static_cast<std::size_t>(i)] = *row;
+  }
+  // Validate symmetry, zero diagonal, and no bits beyond the order — state
+  // can arrive from the network, and the persistent-state manager's sanity
+  // checks (Section 3.1.2) depend on well-formed graphs.
+  const std::uint64_t mask = g.vertex_mask();
+  for (int i = 0; i < *n; ++i) {
+    const auto bi = static_cast<std::size_t>(i);
+    if (g.red_[bi] & ~mask) return Error{Err::kProtocol, "bits beyond order"};
+    if (g.red_[bi] & (1ULL << i)) return Error{Err::kProtocol, "self-loop bit"};
+    for (int j = 0; j < *n; ++j) {
+      const bool ij = (g.red_[bi] >> j) & 1u;
+      const bool ji = (g.red_[static_cast<std::size_t>(j)] >> i) & 1u;
+      if (ij != ji) return Error{Err::kProtocol, "asymmetric adjacency"};
+    }
+  }
+  return g;
+}
+
+int ColoredGraph::red_edge_count() const {
+  int total = 0;
+  for (int i = 0; i < n_; ++i) {
+    total += std::popcount(red_[static_cast<std::size_t>(i)]);
+  }
+  return total / 2;
+}
+
+bool operator==(const ColoredGraph& a, const ColoredGraph& b) {
+  if (a.n_ != b.n_) return false;
+  for (int i = 0; i < a.n_; ++i) {
+    if (a.red_[static_cast<std::size_t>(i)] != b.red_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ew::ramsey

@@ -1,0 +1,234 @@
+#include "ramsey/heuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ew::ramsey {
+
+const char* heuristic_name(HeuristicKind k) {
+  switch (k) {
+    case HeuristicKind::kGreedy: return "greedy";
+    case HeuristicKind::kTabu: return "tabu";
+    case HeuristicKind::kAnneal: return "anneal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Common machinery: maintains the coloring, incremental energy, best-seen
+/// tracking, and the sampled-neighbourhood move generator.
+class BaseSearch : public Heuristic {
+ public:
+  BaseSearch(const HeuristicParams& p, std::optional<ColoredGraph> resume)
+      : p_(p),
+        kr_(p.k),
+        kb_(p.k_blue > 0 ? p.k_blue : p.k),
+        rng_(p.seed),
+        g_(resume ? std::move(*resume) : ColoredGraph::random(p.n, rng_)),
+        best_(g_) {
+    OpsCounter ops;
+    energy_ = count_bad_cliques(g_, kr_, kb_, ops);
+    best_energy_ = energy_;
+  }
+
+  StepOutcome run(std::uint64_t ops_budget) override {
+    OpsCounter ops;
+    StepOutcome out;
+    while (ops.ops < ops_budget && energy_ > 0) {
+      move(ops);
+      ++out.moves;
+      if (energy_ < best_energy_) {
+        best_energy_ = energy_;
+        best_ = g_;
+      }
+    }
+    out.ops_used = ops.ops;
+    out.energy = energy_;
+    out.best_energy = best_energy_;
+    out.found = energy_ == 0;
+    return out;
+  }
+
+  [[nodiscard]] const ColoredGraph& current() const override { return g_; }
+  [[nodiscard]] const ColoredGraph& best() const override { return best_; }
+  [[nodiscard]] std::uint64_t best_energy() const override { return best_energy_; }
+
+ protected:
+  struct Candidate {
+    int i = 0;
+    int j = 0;
+    std::int64_t delta = 0;
+  };
+
+  /// Sample `sample_size` random edges and return them with flip deltas.
+  std::vector<Candidate> sample_moves(OpsCounter& ops) {
+    std::vector<Candidate> cands;
+    cands.reserve(static_cast<std::size_t>(p_.sample_size));
+    for (int s = 0; s < p_.sample_size; ++s) {
+      Candidate c;
+      c.i = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n)));
+      c.j = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n - 1)));
+      if (c.j >= c.i) ++c.j;
+      c.delta = flip_delta(g_, kr_, kb_, c.i, c.j, ops);
+      cands.push_back(c);
+    }
+    return cands;
+  }
+
+  void apply(const Candidate& c) {
+    g_.flip(c.i, c.j);
+    energy_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(energy_) + c.delta);
+  }
+
+  /// One heuristic-specific move.
+  virtual void move(OpsCounter& ops) = 0;
+
+  HeuristicParams p_;
+  int kr_ = 4;
+  int kb_ = 4;
+  Rng rng_;
+  ColoredGraph g_;
+  ColoredGraph best_;
+  std::uint64_t energy_ = 0;
+  std::uint64_t best_energy_ = 0;
+};
+
+class GreedySearch final : public BaseSearch {
+ public:
+  using BaseSearch::BaseSearch;
+  [[nodiscard]] HeuristicKind kind() const override { return HeuristicKind::kGreedy; }
+
+ private:
+  void move(OpsCounter& ops) override {
+    auto cands = sample_moves(ops);
+    const auto best = std::min_element(
+        cands.begin(), cands.end(),
+        [](const Candidate& a, const Candidate& b) { return a.delta < b.delta; });
+    if (best->delta < 0 ||
+        (best->delta == 0 && rng_.chance(p_.sideways_prob))) {
+      apply(*best);
+      stagnant_ = 0;
+    } else if (++stagnant_ > p_.stagnation_moves) {
+      // Random kick: flip a handful of edges to escape the local minimum.
+      for (int t = 0; t < 4; ++t) {
+        Candidate c;
+        c.i = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n)));
+        c.j = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n - 1)));
+        if (c.j >= c.i) ++c.j;
+        c.delta = flip_delta(g_, kr_, kb_, c.i, c.j, ops);
+        apply(c);
+      }
+      stagnant_ = 0;
+    }
+  }
+  std::uint64_t stagnant_ = 0;
+};
+
+class TabuSearch final : public BaseSearch {
+ public:
+  TabuSearch(const HeuristicParams& p, std::optional<ColoredGraph> resume)
+      : BaseSearch(p, std::move(resume)),
+        tabu_until_(static_cast<std::size_t>(p_.n) * static_cast<std::size_t>(p_.n),
+                    0) {}
+  [[nodiscard]] HeuristicKind kind() const override { return HeuristicKind::kTabu; }
+
+ private:
+  std::size_t edge_index(int i, int j) const {
+    if (i > j) std::swap(i, j);
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(p_.n) +
+           static_cast<std::size_t>(j);
+  }
+
+  void move(OpsCounter& ops) override {
+    ++clock_;
+    auto cands = sample_moves(ops);
+    const Candidate* chosen = nullptr;
+    for (const auto& c : cands) {
+      const bool tabu = tabu_until_[edge_index(c.i, c.j)] > clock_;
+      // Aspiration: a move that would improve on the best-ever is always ok.
+      const bool aspires =
+          static_cast<std::int64_t>(energy_) + c.delta <
+          static_cast<std::int64_t>(best_energy_);
+      if (tabu && !aspires) continue;
+      if (chosen == nullptr || c.delta < chosen->delta) chosen = &c;
+    }
+    if (chosen == nullptr) return;  // everything tabu this round
+    tabu_until_[edge_index(chosen->i, chosen->j)] =
+        clock_ + static_cast<std::uint64_t>(p_.tabu_tenure);
+    apply(*chosen);
+  }
+
+  std::vector<std::uint64_t> tabu_until_;
+  std::uint64_t clock_ = 0;
+};
+
+class Annealer final : public BaseSearch {
+ public:
+  Annealer(const HeuristicParams& p, std::optional<ColoredGraph> resume)
+      : BaseSearch(p, std::move(resume)), temp_(p.initial_temp) {}
+  [[nodiscard]] HeuristicKind kind() const override { return HeuristicKind::kAnneal; }
+
+ private:
+  void move(OpsCounter& ops) override {
+    Candidate c;
+    c.i = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n)));
+    c.j = static_cast<int>(rng_.below(static_cast<std::uint64_t>(p_.n - 1)));
+    if (c.j >= c.i) ++c.j;
+    c.delta = flip_delta(g_, kr_, kb_, c.i, c.j, ops);
+    const bool accept =
+        c.delta <= 0 ||
+        rng_.chance(std::exp(-static_cast<double>(c.delta) / temp_));
+    if (accept) apply(c);
+    // Progress is judged within the current annealing cycle: the global
+    // best is tracked by the base class; the cycle best decides reheats.
+    if (energy_ < cycle_best_) {
+      cycle_best_ = energy_;
+      since_cycle_improvement_ = 0;
+    } else {
+      ++since_cycle_improvement_;
+    }
+    temp_ *= p_.cooling;
+    if (temp_ < 1e-3) temp_ = 1e-3;
+    if (since_cycle_improvement_ > p_.stagnation_moves) {
+      since_cycle_improvement_ = 0;
+      if (++reheats_ < kReheatsBeforeRestart) {
+        temp_ = p_.restart_temp;  // jiggle out of the local basin
+      } else {
+        // Several reheats bought nothing: resample the search stream (deep
+        // basins around energy 3-5 are common on unique-solution instances).
+        reheats_ = 0;
+        g_ = ColoredGraph::random(p_.n, rng_);
+        energy_ = count_bad_cliques(g_, kr_, kb_, ops);
+        cycle_best_ = energy_;
+        temp_ = p_.initial_temp;
+      }
+    }
+  }
+
+  static constexpr int kReheatsBeforeRestart = 4;
+  double temp_;
+  std::uint64_t cycle_best_ = ~0ULL;
+  std::uint64_t since_cycle_improvement_ = 0;
+  int reheats_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Heuristic> make_heuristic(HeuristicKind kind,
+                                          const HeuristicParams& params,
+                                          std::optional<ColoredGraph> resume) {
+  switch (kind) {
+    case HeuristicKind::kGreedy:
+      return std::make_unique<GreedySearch>(params, std::move(resume));
+    case HeuristicKind::kTabu:
+      return std::make_unique<TabuSearch>(params, std::move(resume));
+    case HeuristicKind::kAnneal:
+      return std::make_unique<Annealer>(params, std::move(resume));
+  }
+  throw std::invalid_argument("unknown heuristic kind");
+}
+
+}  // namespace ew::ramsey

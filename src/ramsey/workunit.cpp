@@ -1,0 +1,89 @@
+#include "ramsey/workunit.hpp"
+
+namespace ew::ramsey {
+
+Bytes WorkSpec::serialize() const {
+  Writer w;
+  w.u64(unit_id);
+  w.u8(static_cast<std::uint8_t>(n));
+  w.u8(static_cast<std::uint8_t>(k));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(seed);
+  w.u64(report_ops);
+  if (resume) {
+    w.boolean(true);
+    w.blob(resume->serialize());
+  } else {
+    w.boolean(false);
+  }
+  return w.take();
+}
+
+Result<WorkSpec> WorkSpec::deserialize(const Bytes& data) {
+  Reader r(data);
+  WorkSpec s;
+  auto id = r.u64();
+  if (!id) return id.error();
+  s.unit_id = *id;
+  auto n = r.u8();
+  if (!n) return n.error();
+  s.n = *n;
+  auto k = r.u8();
+  if (!k) return k.error();
+  s.k = *k;
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (*kind > static_cast<std::uint8_t>(HeuristicKind::kAnneal)) {
+    return Error{Err::kProtocol, "bad heuristic kind"};
+  }
+  s.kind = static_cast<HeuristicKind>(*kind);
+  auto seed = r.u64();
+  if (!seed) return seed.error();
+  s.seed = *seed;
+  auto ro = r.u64();
+  if (!ro) return ro.error();
+  s.report_ops = *ro;
+  auto has_resume = r.boolean();
+  if (!has_resume) return has_resume.error();
+  if (*has_resume) {
+    auto blob = r.blob();
+    if (!blob) return blob.error();
+    auto g = ColoredGraph::deserialize(*blob);
+    if (!g) return g.error();
+    s.resume = std::move(*g);
+  }
+  return s;
+}
+
+Bytes WorkReport::serialize() const {
+  Writer w;
+  w.u64(unit_id);
+  w.u64(ops_done);
+  w.u64(best_energy);
+  w.boolean(found);
+  w.blob(best_graph);
+  return w.take();
+}
+
+Result<WorkReport> WorkReport::deserialize(const Bytes& data) {
+  Reader r(data);
+  WorkReport rep;
+  auto id = r.u64();
+  if (!id) return id.error();
+  rep.unit_id = *id;
+  auto ops = r.u64();
+  if (!ops) return ops.error();
+  rep.ops_done = *ops;
+  auto be = r.u64();
+  if (!be) return be.error();
+  rep.best_energy = *be;
+  auto found = r.boolean();
+  if (!found) return found.error();
+  rep.found = *found;
+  auto blob = r.blob();
+  if (!blob) return blob.error();
+  rep.best_graph = std::move(*blob);
+  return rep;
+}
+
+}  // namespace ew::ramsey

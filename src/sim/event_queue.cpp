@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace ew::sim {
+
+TimerId EventQueue::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  const TimerId id = next_timer_++;
+  const Key key{clock_.now() + delay, next_seq_++};
+  events_.emplace(key, Entry{id, std::move(fn)});
+  timer_key_.emplace(id, key);
+  return id;
+}
+
+void EventQueue::cancel(TimerId id) {
+  auto it = timer_key_.find(id);
+  if (it == timer_key_.end()) return;
+  events_.erase(it->second);
+  timer_key_.erase(it);
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  auto node = events_.extract(events_.begin());
+  timer_key_.erase(node.mapped().id);
+  clock_.set(node.key().at);
+  ++executed_;
+  node.mapped().fn();
+  return true;
+}
+
+std::size_t EventQueue::run_until_idle(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) ++n;
+  if (n == limit) throw std::runtime_error("EventQueue: event limit hit (livelock?)");
+  return n;
+}
+
+std::size_t EventQueue::run_until(TimePoint t) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.begin()->first.at <= t) {
+    step();
+    ++n;
+  }
+  if (clock_.now() < t) clock_.set(t);
+  return n;
+}
+
+}  // namespace ew::sim

@@ -1,0 +1,38 @@
+#include "sim/traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ew::sim {
+
+Ar1Process::Ar1Process(Params p, Rng rng, double initial)
+    : p_(p), rng_(rng), x_(std::clamp(initial, p.lo, p.hi)) {}
+
+double Ar1Process::step() {
+  const double mu = p_.mu * pressure_;
+  x_ += p_.theta * (mu - x_) + p_.sigma * rng_.normal(0.0, 1.0);
+  x_ = std::clamp(x_, p_.lo, p_.hi);
+  return x_;
+}
+
+Duration DurationSampler::next_up() {
+  // Lognormal with the requested mean: mean = exp(mu + sigma^2/2).
+  const double sigma = p_.up_sigma;
+  const double mu = std::log(static_cast<double>(p_.mean_up)) - sigma * sigma / 2.0;
+  const double v = rng_.lognormal(mu, sigma);
+  return std::max<Duration>(static_cast<Duration>(v), kSecond);
+}
+
+Duration DurationSampler::next_down() {
+  const double v = rng_.exponential(static_cast<double>(p_.mean_down));
+  return std::max<Duration>(static_cast<Duration>(v), kSecond);
+}
+
+const Spike* SpikeSchedule::active(TimePoint t) const {
+  for (const auto& s : spikes_) {
+    if (t >= s.start && t < s.end) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace ew::sim

@@ -1,0 +1,183 @@
+// Tests for gossip state records, freshness comparison, and protocol codecs.
+#include <gtest/gtest.h>
+
+#include "gossip/protocol.hpp"
+#include "gossip/state.hpp"
+
+namespace ew::gossip {
+namespace {
+
+// --- Versioned blobs ----------------------------------------------------------
+
+TEST(VersionedBlob, RoundTrip) {
+  const Bytes blob = versioned_blob(42, Bytes{1, 2, 3});
+  EXPECT_EQ(*blob_version(blob), 42u);
+  EXPECT_EQ(*blob_body(blob), (Bytes{1, 2, 3}));
+}
+
+TEST(VersionedBlob, TruncatedFails) {
+  const Bytes junk{1, 2};
+  EXPECT_FALSE(blob_version(junk).ok());
+  EXPECT_FALSE(blob_body(junk).ok());
+}
+
+TEST(CompareByVersionPrefix, OrdersByVersion) {
+  const Bytes v1 = versioned_blob(1, {});
+  const Bytes v2 = versioned_blob(2, {});
+  EXPECT_LT(compare_by_version_prefix(v1, v2), 0);
+  EXPECT_GT(compare_by_version_prefix(v2, v1), 0);
+  EXPECT_EQ(compare_by_version_prefix(v1, v1), 0);
+}
+
+TEST(CompareByVersionPrefix, UnparseableIsStalest) {
+  const Bytes good = versioned_blob(5, {});
+  const Bytes junk{1};
+  EXPECT_LT(compare_by_version_prefix(junk, good), 0);
+}
+
+// --- ComparatorRegistry ---------------------------------------------------------
+
+TEST(ComparatorRegistry, FallbackIsVersionPrefix) {
+  ComparatorRegistry reg;
+  const auto& cmp = reg.comparator(999);
+  EXPECT_GT(cmp(versioned_blob(2, {}), versioned_blob(1, {})), 0);
+}
+
+TEST(ComparatorRegistry, CustomComparatorWins) {
+  ComparatorRegistry reg;
+  // Freshness by blob size, ignoring versions.
+  reg.register_comparator(7, [](const Bytes& a, const Bytes& b) {
+    return static_cast<int>(a.size()) - static_cast<int>(b.size());
+  });
+  EXPECT_GT(reg.comparator(7)(Bytes(3, 0), Bytes(1, 0)), 0);
+  // Other types still use the fallback.
+  EXPECT_GT(reg.comparator(8)(versioned_blob(2, {}), versioned_blob(1, {})), 0);
+}
+
+// --- StateStore -------------------------------------------------------------------
+
+TEST(StateStore, MergeKeepsFreshest) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  EXPECT_TRUE(store.merge(StateBlob{1, versioned_blob(1, {Bytes{9}})}));
+  EXPECT_FALSE(store.merge(StateBlob{1, versioned_blob(1, {Bytes{8}})}));  // tie: keep
+  EXPECT_TRUE(store.merge(StateBlob{1, versioned_blob(5, {Bytes{7}})}));
+  EXPECT_FALSE(store.merge(StateBlob{1, versioned_blob(3, {Bytes{6}})}));
+  EXPECT_EQ(*blob_version(store.get(1)->content), 5u);
+}
+
+TEST(StateStore, TypesIndependent) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  store.merge(StateBlob{1, versioned_blob(10, {})});
+  store.merge(StateBlob{2, versioned_blob(3, {})});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(*blob_version(store.get(2)->content), 3u);
+  EXPECT_FALSE(store.get(3).has_value());
+}
+
+TEST(StateStore, CompareWithStoredEmptyIsFresher) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  EXPECT_GT(store.compare_with_stored(1, versioned_blob(0, {})), 0);
+}
+
+TEST(StateStore, AllReturnsEverything) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  for (MsgType t = 1; t <= 5; ++t) store.merge(StateBlob{t, versioned_blob(t, {})});
+  EXPECT_EQ(store.all().size(), 5u);
+}
+
+// --- Protocol codecs -----------------------------------------------------------------
+
+TEST(ProtocolCodec, EndpointRoundTrip) {
+  Writer w;
+  write_endpoint(w, Endpoint{"host.example", 8080});
+  Reader r(w.bytes());
+  const auto e = read_endpoint(r);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->host, "host.example");
+  EXPECT_EQ(e->port, 8080);
+}
+
+TEST(ProtocolCodec, RegistrationRoundTrip) {
+  Registration reg;
+  reg.component = Endpoint{"comp", 2000};
+  reg.types = {0x0301, 0x0302};
+  const auto out = Registration::deserialize(reg.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->component, reg.component);
+  EXPECT_EQ(out->types, reg.types);
+}
+
+TEST(ProtocolCodec, RegistrationRejectsHugeTypeList) {
+  Writer w;
+  write_endpoint(w, Endpoint{"c", 1});
+  w.u32(1'000'000);
+  EXPECT_FALSE(Registration::deserialize(w.bytes()).ok());
+}
+
+TEST(ProtocolCodec, DigestRoundTrip) {
+  Digest d;
+  Registration reg;
+  reg.component = Endpoint{"c", 1};
+  reg.types = {7};
+  d.registrations.push_back(reg);
+  d.states.push_back(StateBlob{7, versioned_blob(3, {Bytes{1}})});
+  const auto out = Digest::deserialize(d.serialize());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->registrations.size(), 1u);
+  ASSERT_EQ(out->states.size(), 1u);
+  EXPECT_EQ(out->states[0].type, 7);
+}
+
+TEST(ProtocolCodec, ViewRoundTripSortsMembers) {
+  View v;
+  v.generation = 9;
+  v.leader = Endpoint{"a", 1};
+  v.members = {Endpoint{"c", 1}, Endpoint{"a", 1}, Endpoint{"b", 1}};
+  const auto out = View::deserialize(v.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->generation, 9u);
+  EXPECT_TRUE(std::is_sorted(out->members.begin(), out->members.end()));
+  EXPECT_TRUE(out->contains(Endpoint{"b", 1}));
+  EXPECT_FALSE(out->contains(Endpoint{"z", 1}));
+}
+
+TEST(ProtocolCodec, ViewNewerThanOrdering) {
+  View a;
+  a.generation = 2;
+  a.leader = Endpoint{"x", 1};
+  View b;
+  b.generation = 3;
+  b.leader = Endpoint{"z", 1};
+  EXPECT_TRUE(b.newer_than(a));
+  EXPECT_FALSE(a.newer_than(b));
+  // Tie on generation: smaller leader wins.
+  b.generation = 2;
+  EXPECT_TRUE(a.newer_than(b));
+}
+
+TEST(ProtocolCodec, TokenRoundTrip) {
+  Token t;
+  t.round = 4;
+  t.view.generation = 2;
+  t.view.leader = Endpoint{"l", 1};
+  t.view.members = {Endpoint{"l", 1}, Endpoint{"m", 1}};
+  t.visited = {Endpoint{"l", 1}};
+  t.suspects = {Endpoint{"m", 1}};
+  const auto out = Token::deserialize(t.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->round, 4u);
+  EXPECT_EQ(out->visited.size(), 1u);
+  EXPECT_EQ(out->suspects.size(), 1u);
+}
+
+TEST(ProtocolCodec, TokenFromGarbageFails) {
+  EXPECT_FALSE(Token::deserialize(Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(View::deserialize(Bytes{}).ok());
+}
+
+}  // namespace
+}  // namespace ew::gossip

@@ -1,0 +1,162 @@
+// Tests for the miniature Network Weather Service: station probing, sensor
+// pushes, forecast queries, and behaviour under partitions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nws/nws.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+#include "sim/sim_transport.hpp"
+
+namespace ew::nws {
+namespace {
+
+class NwsTest : public ::testing::Test {
+ protected:
+  NwsTest() : net_(Rng(55)), transport_(events_, net_) {
+    net_.set_loss_rate(0.0);
+    net_.set_jitter_sigma(0.0);
+  }
+
+  NwsStationModule* add_station(const std::string& host,
+                                std::vector<Endpoint> peers) {
+    auto fw = std::make_unique<core::ServiceFramework>(events_, transport_,
+                                                       Endpoint{host, 950});
+    NwsStationModule::Options o;
+    o.peers = std::move(peers);
+    o.probe_period = 10 * kSecond;
+    auto module = std::make_unique<NwsStationModule>(o);
+    auto* station = module.get();
+    fw->install(std::move(module));
+    EXPECT_TRUE(fw->start().ok());
+    frameworks_.push_back(std::move(fw));
+    return station;
+  }
+
+  sim::EventQueue events_;
+  sim::NetworkModel net_;
+  sim::SimTransport transport_;
+  std::vector<std::unique_ptr<core::ServiceFramework>> frameworks_;
+};
+
+TEST_F(NwsTest, StationsProbeEachOther) {
+  const std::vector<Endpoint> peers = {Endpoint{"n0", 950}, Endpoint{"n1", 950}};
+  auto* s0 = add_station("n0", peers);
+  auto* s1 = add_station("n1", peers);
+  net_.set_site("n0", "west");
+  net_.set_site("n1", "east");
+  events_.run_for(5 * kMinute);
+  EXPECT_GT(s0->probes_completed(), 20u);
+  EXPECT_GT(s1->probes_completed(), 20u);
+  const Forecast f = s0->forecast("latency:n1:950");
+  ASSERT_GT(f.samples, 10u);
+  // Cross-site RTT: two one-way hops of the 40 ms default.
+  EXPECT_NEAR(f.value, static_cast<double>(80 * kMillisecond),
+              static_cast<double>(12 * kMillisecond));
+}
+
+TEST_F(NwsTest, ForecastTracksCongestionChange) {
+  const std::vector<Endpoint> peers = {Endpoint{"n0", 950}, Endpoint{"n1", 950}};
+  auto* s0 = add_station("n0", peers);
+  add_station("n1", peers);
+  net_.set_site("n0", "west");
+  net_.set_site("n1", "east");
+  events_.run_for(5 * kMinute);
+  const double before = s0->forecast("latency:n1:950").value;
+  net_.set_congestion(3.0);
+  events_.run_for(10 * kMinute);
+  const double after = s0->forecast("latency:n1:950").value;
+  EXPECT_GT(after, 2.0 * before);
+}
+
+TEST_F(NwsTest, SensorPushesCpuAvailability) {
+  auto* s0 = add_station("n0", {});
+  // A sensor on another "host" reporting a synthetic availability signal.
+  auto fw = std::make_unique<core::ServiceFramework>(events_, transport_,
+                                                     Endpoint{"worker", 951});
+  NwsCpuSensor::Options o;
+  o.station = Endpoint{"n0", 950};
+  o.resource = "cpu:worker";
+  double level = 0.75;
+  o.read = [&level] { return level; };
+  o.period = 10 * kSecond;
+  fw->install(std::make_unique<NwsCpuSensor>(o));
+  ASSERT_TRUE(fw->start().ok());
+  frameworks_.push_back(std::move(fw));
+
+  events_.run_for(5 * kMinute);
+  const Forecast f = s0->forecast("cpu:worker");
+  ASSERT_GT(f.samples, 10u);
+  EXPECT_NEAR(f.value, 0.75, 0.01);
+  // The machine gets busy; the forecast follows.
+  level = 0.2;
+  events_.run_for(10 * kMinute);
+  EXPECT_NEAR(s0->forecast("cpu:worker").value, 0.2, 0.05);
+}
+
+TEST_F(NwsTest, QueryOverTheWire) {
+  auto* s0 = add_station("n0", {});
+  s0->record("custom:series", 42.0);
+  s0->record("custom:series", 42.0);
+  s0->record("custom:series", 42.0);
+
+  Node client(events_, transport_, Endpoint{"cli", 1});
+  ASSERT_TRUE(client.start().ok());
+  Writer w;
+  w.str("custom:series");
+  std::optional<Result<Bytes>> got;
+  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), 5 * kSecond,
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events_.run_for(10 * kSecond);
+  ASSERT_TRUE(got && got->ok());
+  auto reply = NwsForecastReply::deserialize(*got.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_DOUBLE_EQ(reply->value, 42.0);
+  EXPECT_EQ(reply->samples, 3u);
+  EXPECT_FALSE(reply->method.empty());
+}
+
+TEST_F(NwsTest, QueryUnknownResourceRejected) {
+  add_station("n0", {});
+  Node client(events_, transport_, Endpoint{"cli", 1});
+  ASSERT_TRUE(client.start().ok());
+  Writer w;
+  w.str("no:such:resource");
+  std::optional<Result<Bytes>> got;
+  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), 5 * kSecond,
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events_.run_for(10 * kSecond);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Err::kRejected);
+}
+
+TEST_F(NwsTest, PartitionedPeerYieldsNoSamplesNotGarbage) {
+  const std::vector<Endpoint> peers = {Endpoint{"n0", 950}, Endpoint{"n1", 950}};
+  auto* s0 = add_station("n0", peers);
+  add_station("n1", peers);
+  net_.set_site("n0", "west");
+  net_.set_site("n1", "east");
+  events_.run_for(3 * kMinute);
+  const auto samples_before = s0->forecast("latency:n1:950").samples;
+  net_.set_partitioned("west", "east", true);
+  events_.run_for(5 * kMinute);
+  // No new samples arrive during the partition (failed probes are not
+  // recorded as measurements).
+  EXPECT_EQ(s0->forecast("latency:n1:950").samples, samples_before);
+}
+
+TEST_F(NwsTest, MeasurementCodecRoundTrip) {
+  NwsMeasurement m;
+  m.resource = "cpu:host-1";
+  m.value = 0.625;
+  auto out = NwsMeasurement::deserialize(m.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->resource, "cpu:host-1");
+  EXPECT_DOUBLE_EQ(out->value, 0.625);
+  EXPECT_FALSE(NwsMeasurement::deserialize(Bytes{1}).ok());
+  EXPECT_FALSE(NwsForecastReply::deserialize(Bytes{1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace ew::nws

@@ -1,0 +1,227 @@
+// Tests for the instrumented clique-counting kernels: agreement with the
+// reference enumerator, incremental flip deltas, classical identities, and
+// the operation counter.
+#include <gtest/gtest.h>
+
+#include "ramsey/clique.hpp"
+
+namespace ew::ramsey {
+namespace {
+
+// --- Agreement with the reference enumerator (property sweep) ------------------
+
+struct CountCase {
+  int n;
+  int k;
+  std::uint64_t seed;
+};
+
+class CliqueCountProperty : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(CliqueCountProperty, BitmaskMatchesReference) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  const ColoredGraph g = ColoredGraph::random(n, rng);
+  OpsCounter ops;
+  for (Color c : {Color::kRed, Color::kBlue}) {
+    EXPECT_EQ(count_mono_cliques(g, k, c, ops),
+              count_mono_cliques_reference(g, k, c))
+        << "n=" << n << " k=" << k << " seed=" << seed;
+  }
+  EXPECT_GT(ops.ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CliqueCountProperty,
+    ::testing::Values(CountCase{4, 2, 1}, CountCase{6, 3, 1}, CountCase{6, 3, 2},
+                      CountCase{8, 3, 3}, CountCase{8, 4, 4}, CountCase{10, 3, 5},
+                      CountCase{10, 4, 6}, CountCase{12, 4, 7}, CountCase{12, 5, 8},
+                      CountCase{14, 4, 9}, CountCase{16, 5, 10},
+                      CountCase{9, 6, 11}, CountCase{11, 2, 12}));
+
+// --- Classical identities --------------------------------------------------------
+
+TEST(CliqueCount, K2CountsEdges) {
+  Rng rng(1);
+  const ColoredGraph g = ColoredGraph::random(10, rng);
+  OpsCounter ops;
+  const auto red = count_mono_cliques(g, 2, Color::kRed, ops);
+  const auto blue = count_mono_cliques(g, 2, Color::kBlue, ops);
+  EXPECT_EQ(red, static_cast<std::uint64_t>(g.red_edge_count()));
+  EXPECT_EQ(red + blue, static_cast<std::uint64_t>(g.edge_count()));
+}
+
+TEST(CliqueCount, AllOneColorIsBinomial) {
+  ColoredGraph g(10);  // all blue
+  OpsCounter ops;
+  EXPECT_EQ(count_mono_cliques(g, 4, Color::kBlue, ops), 210u);  // C(10,4)
+  EXPECT_EQ(count_mono_cliques(g, 4, Color::kRed, ops), 0u);
+}
+
+TEST(CliqueCount, GoodmanBoundOnK6) {
+  // R(3,3)=6 with Goodman's bound: every 2-coloring of K6 has >= 2
+  // monochromatic triangles.
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ColoredGraph g = ColoredGraph::random(6, rng);
+    OpsCounter ops;
+    EXPECT_GE(count_bad_cliques(g, 3, ops), 2u);
+  }
+}
+
+TEST(CliqueCount, C5HasZeroMonoTriangles) {
+  auto g = ColoredGraph::circulant(5, {1, 4});
+  OpsCounter ops;
+  EXPECT_EQ(count_bad_cliques(*g, 3, ops), 0u);
+}
+
+TEST(CliqueCount, Paley17HasZeroMonoK4) {
+  auto g = ColoredGraph::paley(17);
+  OpsCounter ops;
+  EXPECT_EQ(count_bad_cliques(*g, 4, ops), 0u);
+}
+
+TEST(CliqueCount, InvalidKThrows) {
+  ColoredGraph g(5);
+  OpsCounter ops;
+  EXPECT_THROW(count_mono_cliques(g, 1, Color::kRed, ops), std::invalid_argument);
+  EXPECT_THROW(count_mono_cliques(g, 9, Color::kRed, ops), std::invalid_argument);
+}
+
+// --- cliques_through_edge ----------------------------------------------------------
+
+TEST(CliquesThroughEdge, SumOverEdgesCountsEachCliqueChoose2Times) {
+  // Every mono k-clique contains C(k,2) edges, so summing the per-edge
+  // counts over the clique's own-color edges counts each clique C(k,2)x.
+  Rng rng(23);
+  const int n = 10, k = 4;
+  const ColoredGraph g = ColoredGraph::random(n, rng);
+  OpsCounter ops;
+  for (Color c : {Color::kRed, Color::kBlue}) {
+    std::uint64_t edge_sum = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (g.color(i, j) == c) edge_sum += cliques_through_edge(g, k, i, j, c, ops);
+      }
+    }
+    EXPECT_EQ(edge_sum, count_mono_cliques(g, k, c, ops) * 6);  // C(4,2)=6
+  }
+}
+
+// --- flip_delta ----------------------------------------------------------------------
+
+class FlipDeltaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlipDeltaProperty, DeltaMatchesRecount) {
+  const int k = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k) * 31 + 5);
+  ColoredGraph g = ColoredGraph::random(12, rng);
+  OpsCounter ops;
+  std::uint64_t energy = count_bad_cliques(g, k, ops);
+  for (int step = 0; step < 300; ++step) {
+    const int i = static_cast<int>(rng.below(12));
+    int j = static_cast<int>(rng.below(11));
+    if (j >= i) ++j;
+    const std::int64_t delta = flip_delta(g, k, i, j, ops);
+    g.flip(i, j);
+    const std::uint64_t recount = count_bad_cliques(g, k, ops);
+    ASSERT_EQ(static_cast<std::int64_t>(recount),
+              static_cast<std::int64_t>(energy) + delta)
+        << "k=" << k << " step=" << step;
+    energy = recount;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FlipDeltaProperty, ::testing::Values(3, 4, 5));
+
+TEST(FlipDelta, K2IsAlwaysZero) {
+  Rng rng(9);
+  ColoredGraph g = ColoredGraph::random(6, rng);
+  OpsCounter ops;
+  EXPECT_EQ(flip_delta(g, 2, 0, 1, ops), 0);
+}
+
+// --- Asymmetric Ramsey energies -----------------------------------------------------
+
+TEST(AsymmetricEnergy, MatchesPerColorCounts) {
+  Rng rng(41);
+  const ColoredGraph g = ColoredGraph::random(11, rng);
+  OpsCounter ops;
+  EXPECT_EQ(count_bad_cliques(g, 3, 4, ops),
+            count_mono_cliques(g, 3, Color::kRed, ops) +
+                count_mono_cliques(g, 4, Color::kBlue, ops));
+}
+
+TEST(AsymmetricEnergy, SymmetricCaseUnchanged) {
+  Rng rng(43);
+  const ColoredGraph g = ColoredGraph::random(12, rng);
+  OpsCounter ops;
+  EXPECT_EQ(count_bad_cliques(g, 4, ops), count_bad_cliques(g, 4, 4, ops));
+}
+
+TEST(AsymmetricEnergy, WagnerGraphWitnessesR34) {
+  // The circulant C8(1,4) (Wagner graph) is triangle-free and its
+  // complement has no K4: it proves R(3,4) > 8 (R(3,4) = 9).
+  auto g = ColoredGraph::circulant(8, {1, 4, 7});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(is_counterexample(*g, 3, 4));
+  EXPECT_FALSE(is_counterexample(*g, 3, 3));  // the blue side has triangles
+}
+
+TEST(AsymmetricEnergy, OrderOfArgumentsMatters) {
+  auto g = ColoredGraph::circulant(8, {1, 4, 7});
+  ASSERT_TRUE(g.ok());
+  // Swapped: red would need to be K4-free (it trivially is, being
+  // triangle-free) but blue must now be triangle-free — it is not.
+  EXPECT_FALSE(is_counterexample(*g, 4, 3));
+}
+
+class AsymmetricFlipDelta : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AsymmetricFlipDelta, DeltaMatchesRecount) {
+  const auto [kr, kb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kr * 100 + kb));
+  ColoredGraph g = ColoredGraph::random(11, rng);
+  OpsCounter ops;
+  std::uint64_t energy = count_bad_cliques(g, kr, kb, ops);
+  for (int step = 0; step < 200; ++step) {
+    const int i = static_cast<int>(rng.below(11));
+    int j = static_cast<int>(rng.below(10));
+    if (j >= i) ++j;
+    const std::int64_t delta = flip_delta(g, kr, kb, i, j, ops);
+    g.flip(i, j);
+    const std::uint64_t recount = count_bad_cliques(g, kr, kb, ops);
+    ASSERT_EQ(static_cast<std::int64_t>(recount),
+              static_cast<std::int64_t>(energy) + delta)
+        << "kr=" << kr << " kb=" << kb << " step=" << step;
+    energy = recount;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, AsymmetricFlipDelta,
+                         ::testing::Values(std::make_pair(3, 4),
+                                           std::make_pair(4, 3),
+                                           std::make_pair(2, 5),
+                                           std::make_pair(3, 6)));
+
+// --- OpsCounter ------------------------------------------------------------------------
+
+TEST(OpsCounter, ChargesAccumulate) {
+  OpsCounter ops;
+  ops.charge(5);
+  ops.charge(7);
+  EXPECT_EQ(ops.ops, 12u);
+}
+
+TEST(OpsCounter, CountScalesWithProblemSize) {
+  Rng rng(11);
+  OpsCounter small, large;
+  const ColoredGraph a = ColoredGraph::random(8, rng);
+  const ColoredGraph b = ColoredGraph::random(32, rng);
+  count_bad_cliques(a, 4, small);
+  count_bad_cliques(b, 4, large);
+  EXPECT_GT(large.ops, small.ops * 10);
+}
+
+}  // namespace
+}  // namespace ew::ramsey

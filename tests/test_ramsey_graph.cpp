@@ -1,0 +1,186 @@
+// Tests for two-colored complete graphs: construction, named colorings,
+// serialization, and hostile-input validation.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "ramsey/clique.hpp"
+#include "ramsey/graph.hpp"
+
+namespace ew::ramsey {
+namespace {
+
+TEST(ColoredGraph, StartsAllBlue) {
+  ColoredGraph g(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) EXPECT_EQ(g.color(i, j), Color::kBlue);
+  }
+  EXPECT_EQ(g.red_edge_count(), 0);
+  EXPECT_EQ(g.edge_count(), 10);
+}
+
+TEST(ColoredGraph, SetColorIsSymmetric) {
+  ColoredGraph g(4);
+  g.set_color(1, 3, Color::kRed);
+  EXPECT_EQ(g.color(1, 3), Color::kRed);
+  EXPECT_EQ(g.color(3, 1), Color::kRed);
+  g.set_color(3, 1, Color::kBlue);
+  EXPECT_EQ(g.color(1, 3), Color::kBlue);
+}
+
+TEST(ColoredGraph, FlipToggles) {
+  ColoredGraph g(3);
+  g.flip(0, 1);
+  EXPECT_EQ(g.color(0, 1), Color::kRed);
+  g.flip(0, 1);
+  EXPECT_EQ(g.color(0, 1), Color::kBlue);
+}
+
+TEST(ColoredGraph, InvalidOrderThrows) {
+  EXPECT_THROW(ColoredGraph(0), std::invalid_argument);
+  EXPECT_THROW(ColoredGraph(65), std::invalid_argument);
+  ColoredGraph ok(64);
+  EXPECT_EQ(ok.order(), 64);
+}
+
+TEST(ColoredGraph, BadVertexPairThrows) {
+  ColoredGraph g(4);
+  EXPECT_THROW((void)g.color(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.color(0, 4), std::invalid_argument);
+  EXPECT_THROW(g.set_color(-1, 2, Color::kRed), std::invalid_argument);
+}
+
+TEST(ColoredGraph, NeighborsPartitionVertices) {
+  Rng rng(1);
+  ColoredGraph g = ColoredGraph::random(20, rng);
+  for (int v = 0; v < 20; ++v) {
+    const std::uint64_t red = g.neighbors(Color::kRed, v);
+    const std::uint64_t blue = g.neighbors(Color::kBlue, v);
+    EXPECT_EQ(red & blue, 0u);
+    EXPECT_EQ(red | blue | (1ULL << v), g.vertex_mask());
+  }
+}
+
+TEST(ColoredGraph, VertexMaskFullAt64) {
+  ColoredGraph g(64);
+  EXPECT_EQ(g.vertex_mask(), ~0ULL);
+}
+
+TEST(ColoredGraph, RandomIsDeterministicFromSeed) {
+  Rng a(42), b(42);
+  EXPECT_EQ(ColoredGraph::random(10, a), ColoredGraph::random(10, b));
+}
+
+TEST(Circulant, C5IsTheR33CounterExample) {
+  // C5 red, complement (also C5) blue: no monochromatic triangle.
+  auto g = ColoredGraph::circulant(5, {1, 4});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(is_counterexample(*g, 3));
+}
+
+TEST(Circulant, K6HasNoTriangleFreeColoring) {
+  // R(3,3)=6: even the best circulant on 6 vertices has a mono triangle.
+  auto g = ColoredGraph::circulant(6, {1, 5});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(is_counterexample(*g, 3));
+}
+
+TEST(Circulant, AsymmetricOffsetsRejected) {
+  EXPECT_FALSE(ColoredGraph::circulant(7, {1}).ok());  // missing 6
+  EXPECT_TRUE(ColoredGraph::circulant(7, {1, 6}).ok());
+}
+
+TEST(Circulant, ZeroOffsetRejected) {
+  EXPECT_FALSE(ColoredGraph::circulant(5, {0}).ok());
+}
+
+TEST(Circulant, NegativeOffsetsNormalized) {
+  auto a = ColoredGraph::circulant(5, {1, -1});
+  auto b = ColoredGraph::circulant(5, {1, 4});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(Paley, RejectsBadOrders) {
+  EXPECT_FALSE(ColoredGraph::paley(15).ok());  // not prime
+  EXPECT_FALSE(ColoredGraph::paley(7).ok());   // 3 mod 4
+  EXPECT_FALSE(ColoredGraph::paley(4).ok());   // too small / not prime
+}
+
+TEST(Paley, IsSelfComplementaryRegular) {
+  auto g = ColoredGraph::paley(13);
+  ASSERT_TRUE(g.ok());
+  // Exactly (q-1)/2 red neighbors per vertex.
+  for (int v = 0; v < 13; ++v) {
+    EXPECT_EQ(std::popcount(g->neighbors(Color::kRed, v)), 6);
+  }
+  EXPECT_EQ(g->red_edge_count(), 13 * 6 / 2);
+}
+
+TEST(Paley, Paley17ProvesR44GreaterThan17) {
+  auto g = ColoredGraph::paley(17);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(is_counterexample(*g, 4));
+  // ...but it does contain mono triangles (it is not an R3 counter-example).
+  EXPECT_FALSE(is_counterexample(*g, 3));
+}
+
+TEST(Paley, Paley5IsC5) {
+  auto p = ColoredGraph::paley(5);
+  auto c = ColoredGraph::circulant(5, {1, 4});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, *c);
+}
+
+// --- Serialization ------------------------------------------------------------
+
+TEST(GraphSerialize, RoundTrip) {
+  Rng rng(3);
+  for (int n : {1, 2, 17, 43, 64}) {
+    ColoredGraph g = ColoredGraph::random(n, rng);
+    auto out = ColoredGraph::deserialize(g.serialize());
+    ASSERT_TRUE(out.ok()) << n;
+    EXPECT_EQ(*out, g) << n;
+  }
+}
+
+TEST(GraphSerialize, RejectsTruncated) {
+  Rng rng(4);
+  Bytes blob = ColoredGraph::random(10, rng).serialize();
+  blob.resize(blob.size() - 3);
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+}
+
+TEST(GraphSerialize, RejectsBadOrder) {
+  Bytes blob{0};  // order 0
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+  blob[0] = 200;
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+}
+
+TEST(GraphSerialize, RejectsAsymmetry) {
+  Rng rng(5);
+  ColoredGraph g = ColoredGraph::random(8, rng);
+  Bytes blob = g.serialize();
+  // Corrupt one row's bit without its mirror: byte layout is
+  // [order u8][row0 u64 LE][row1 u64 LE]...
+  blob[1] ^= 0x02;  // toggle edge (0,1) on row 0 only
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+}
+
+TEST(GraphSerialize, RejectsSelfLoop) {
+  ColoredGraph g(4);
+  Bytes blob = g.serialize();
+  blob[1] |= 0x01;  // vertex 0 adjacent to itself
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+}
+
+TEST(GraphSerialize, RejectsBitsBeyondOrder) {
+  ColoredGraph g(4);
+  Bytes blob = g.serialize();
+  blob[2] = 0xFF;  // bits 8..15 of row 0, far beyond order 4
+  EXPECT_FALSE(ColoredGraph::deserialize(blob).ok());
+}
+
+}  // namespace
+}  // namespace ew::ramsey

@@ -1,0 +1,197 @@
+// Tests for the search heuristics and the work-unit wire formats.
+#include <gtest/gtest.h>
+
+#include "ramsey/heuristic.hpp"
+#include "ramsey/workunit.hpp"
+
+namespace ew::ramsey {
+namespace {
+
+HeuristicParams params(int n, int k, std::uint64_t seed) {
+  HeuristicParams p;
+  p.n = n;
+  p.k = k;
+  p.seed = seed;
+  return p;
+}
+
+class HeuristicKinds : public ::testing::TestWithParam<HeuristicKind> {};
+
+TEST_P(HeuristicKinds, SolvesR33Instantly) {
+  // n=5, k=3: plenty of counter-examples (any C5-like coloring).
+  auto h = make_heuristic(GetParam(), params(5, 3, 7));
+  const StepOutcome out = h->run(5'000'000);
+  EXPECT_TRUE(out.found) << heuristic_name(GetParam());
+  EXPECT_EQ(out.energy, 0u);
+  EXPECT_TRUE(is_counterexample(h->best(), 3));
+}
+
+TEST_P(HeuristicKinds, ReducesEnergyOnHardInstance) {
+  auto h = make_heuristic(GetParam(), params(17, 4, 11));
+  OpsCounter ops;
+  const std::uint64_t initial = count_bad_cliques(h->current(), 4, ops);
+  h->run(30'000'000);
+  EXPECT_LT(h->best_energy(), initial) << heuristic_name(GetParam());
+}
+
+TEST_P(HeuristicKinds, OpsAccountedAndBudgetRespected) {
+  auto h = make_heuristic(GetParam(), params(12, 4, 3));
+  const StepOutcome out = h->run(2'000'000);
+  EXPECT_GT(out.ops_used, 0u);
+  // The budget is approximate (a move may overshoot) but not wildly so.
+  EXPECT_LT(out.ops_used, 3'000'000u);
+  EXPECT_GT(out.moves, 0u);
+}
+
+TEST_P(HeuristicKinds, DeterministicFromSeed) {
+  auto a = make_heuristic(GetParam(), params(10, 4, 99));
+  auto b = make_heuristic(GetParam(), params(10, 4, 99));
+  a->run(1'000'000);
+  b->run(1'000'000);
+  EXPECT_EQ(a->current(), b->current());
+  EXPECT_EQ(a->best_energy(), b->best_energy());
+}
+
+TEST_P(HeuristicKinds, ResumableAcrossCalls) {
+  auto h = make_heuristic(GetParam(), params(14, 4, 5));
+  const StepOutcome first = h->run(1'000'000);
+  const StepOutcome second = h->run(1'000'000);
+  // best only improves.
+  EXPECT_LE(second.best_energy, first.best_energy);
+}
+
+TEST_P(HeuristicKinds, BestGraphConsistentWithBestEnergy) {
+  auto h = make_heuristic(GetParam(), params(12, 4, 21));
+  h->run(3'000'000);
+  OpsCounter ops;
+  EXPECT_EQ(count_bad_cliques(h->best(), 4, ops), h->best_energy());
+}
+
+TEST_P(HeuristicKinds, ResumeFromSuppliedColoring) {
+  // Resume from a known counter-example: energy must be 0 from the start.
+  auto paley = ColoredGraph::paley(17);
+  auto h = make_heuristic(GetParam(), params(17, 4, 1), *paley);
+  const StepOutcome out = h->run(1000);
+  EXPECT_TRUE(out.found);
+  EXPECT_EQ(h->best_energy(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HeuristicKinds,
+                         ::testing::Values(HeuristicKind::kGreedy,
+                                           HeuristicKind::kTabu,
+                                           HeuristicKind::kAnneal),
+                         [](const auto& info) {
+                           return heuristic_name(info.param);
+                         });
+
+TEST(Annealer, FindsTheUniqueR44CounterExample) {
+  // n=17, k=4 has (up to isomorphism) exactly one counter-example — a hard
+  // instance for local search; the reheat-then-restart schedule finds it
+  // from any seed within a few hundred Mops.
+  auto h = make_heuristic(HeuristicKind::kAnneal, params(17, 4, 42));
+  bool found = false;
+  for (int i = 0; i < 8 && !found; ++i) found = h->run(50'000'000).found;
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(is_counterexample(h->best(), 4));
+}
+
+TEST(Annealer, FindsAsymmetricR34Witness) {
+  // R(3,4) = 9: on 8 vertices a red-triangle-free / blue-K4-free coloring
+  // exists (the Wagner graph); the annealer finds one quickly.
+  HeuristicParams p;
+  p.n = 8;
+  p.k = 3;
+  p.k_blue = 4;
+  p.seed = 11;
+  auto h = make_heuristic(HeuristicKind::kAnneal, p);
+  const StepOutcome out = h->run(20'000'000);
+  ASSERT_TRUE(out.found);
+  EXPECT_TRUE(is_counterexample(h->best(), 3, 4));
+}
+
+TEST(Annealer, AsymmetricImpossibleInstanceNeverClaimsSuccess) {
+  // R(3,4) = 9 exactly: on 9 vertices no witness exists; the search must
+  // keep a positive energy, never "find" one.
+  HeuristicParams p;
+  p.n = 9;
+  p.k = 3;
+  p.k_blue = 4;
+  p.seed = 13;
+  auto h = make_heuristic(HeuristicKind::kAnneal, p);
+  const StepOutcome out = h->run(30'000'000);
+  EXPECT_FALSE(out.found);
+  EXPECT_GT(h->best_energy(), 0u);
+}
+
+TEST(HeuristicName, AllNamed) {
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kGreedy), "greedy");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kTabu), "tabu");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kAnneal), "anneal");
+}
+
+// --- Work unit wire formats ----------------------------------------------------
+
+TEST(WorkSpec, RoundTripWithoutResume) {
+  WorkSpec s;
+  s.unit_id = 77;
+  s.n = 42;
+  s.k = 5;
+  s.kind = HeuristicKind::kTabu;
+  s.seed = 0xFEED;
+  s.report_ops = 123456;
+  const auto out = WorkSpec::deserialize(s.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->unit_id, 77u);
+  EXPECT_EQ(out->n, 42);
+  EXPECT_EQ(out->k, 5);
+  EXPECT_EQ(out->kind, HeuristicKind::kTabu);
+  EXPECT_EQ(out->seed, 0xFEEDu);
+  EXPECT_EQ(out->report_ops, 123456u);
+  EXPECT_FALSE(out->resume.has_value());
+}
+
+TEST(WorkSpec, RoundTripWithResume) {
+  Rng rng(3);
+  WorkSpec s;
+  s.unit_id = 1;
+  s.n = 10;
+  s.k = 4;
+  s.resume = ColoredGraph::random(10, rng);
+  const auto out = WorkSpec::deserialize(s.serialize());
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->resume.has_value());
+  EXPECT_EQ(*out->resume, *s.resume);
+}
+
+TEST(WorkSpec, RejectsBadHeuristicKind) {
+  WorkSpec s;
+  Bytes wire = s.serialize();
+  wire[10] = 9;  // kind byte: u64 id + u8 n + u8 k, then kind at offset 10
+  EXPECT_FALSE(WorkSpec::deserialize(wire).ok());
+}
+
+TEST(WorkReport, RoundTrip) {
+  WorkReport r;
+  r.unit_id = 3;
+  r.ops_done = 1'000'000;
+  r.best_energy = 17;
+  r.found = true;
+  r.best_graph = Bytes{1, 2, 3};
+  const auto out = WorkReport::deserialize(r.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->unit_id, 3u);
+  EXPECT_EQ(out->ops_done, 1'000'000u);
+  EXPECT_EQ(out->best_energy, 17u);
+  EXPECT_TRUE(out->found);
+  EXPECT_EQ(out->best_graph, (Bytes{1, 2, 3}));
+}
+
+TEST(WorkReport, RejectsTruncated) {
+  WorkReport r;
+  Bytes wire = r.serialize();
+  wire.resize(5);
+  EXPECT_FALSE(WorkReport::deserialize(wire).ok());
+}
+
+}  // namespace
+}  // namespace ew::ramsey

@@ -1,0 +1,258 @@
+// Tests for the real-time side of the lingua franca: the select()-based
+// Reactor and TCP transport over localhost.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "gossip/clique.hpp"
+#include "net/node.hpp"
+#include "net/reactor.hpp"
+#include "net/tcp.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace ew {
+namespace {
+
+std::uint16_t pick_port(const Fd& listener) { return *local_port(listener); }
+
+// --- Reactor ------------------------------------------------------------------
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor r;
+  std::vector<int> order;
+  r.schedule(30 * kMillisecond, [&] { order.push_back(3); });
+  r.schedule(10 * kMillisecond, [&] { order.push_back(1); });
+  r.schedule(20 * kMillisecond, [&] {
+    order.push_back(2);
+  });
+  r.run_for(100 * kMillisecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reactor, CancelPreventsFiring) {
+  Reactor r;
+  bool fired = false;
+  const TimerId id = r.schedule(10 * kMillisecond, [&] { fired = true; });
+  r.cancel(id);
+  r.run_for(50 * kMillisecond);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, PostFromAnotherThread) {
+  Reactor r;
+  std::atomic<bool> ran{false};
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    r.post([&] { ran = true; });
+  });
+  r.run_for(200 * kMillisecond);
+  t.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Reactor, StopExitsRun) {
+  Reactor r;
+  r.schedule(10 * kMillisecond, [&] { r.stop(); });
+  const auto t0 = std::chrono::steady_clock::now();
+  r.run();  // would hang forever without stop()
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(dt).count(), 2000);
+}
+
+TEST(Reactor, RunForReturnsNearDeadline) {
+  Reactor r;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.run_for(50 * kMillisecond);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(ms, 45);
+  EXPECT_LT(ms, 500);
+}
+
+// --- Raw sockets ------------------------------------------------------------------
+
+TEST(Tcp, ListenConnectRoundTrip) {
+  auto listener = tcp_listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.error().to_string();
+  const std::uint16_t port = pick_port(*listener);
+
+  auto client = tcp_connect(Endpoint{"127.0.0.1", port}, kSecond);
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+
+  auto readable = wait_readable(*listener, kSecond);
+  ASSERT_TRUE(readable.ok());
+  ASSERT_TRUE(*readable);
+  auto accepted = tcp_accept(*listener);
+  ASSERT_TRUE(accepted.ok());
+
+  const Bytes msg{'h', 'i'};
+  auto sent = send_some(*client, msg);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, 2u);
+
+  ASSERT_TRUE(*wait_readable(*accepted, kSecond));
+  Bytes got;
+  auto n = recv_some(*accepted, got);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(Tcp, ConnectRefusedFailsFast) {
+  // Port 1 on localhost is almost certainly closed.
+  auto fd = tcp_connect(Endpoint{"127.0.0.1", 1}, kSecond);
+  EXPECT_FALSE(fd.ok());
+}
+
+TEST(Tcp, UnresolvableHostRejected) {
+  auto fd = tcp_connect(Endpoint{"no-such-host.invalid", 80}, kSecond);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error().code, Err::kRefused);
+}
+
+TEST(Tcp, RecvOnClosedPeerReportsClosed) {
+  auto listener = tcp_listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = pick_port(*listener);
+  auto client = tcp_connect(Endpoint{"127.0.0.1", port}, kSecond);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(*wait_readable(*listener, kSecond));
+  auto accepted = tcp_accept(*listener);
+  ASSERT_TRUE(accepted.ok());
+  client->reset();  // close
+  ASSERT_TRUE(*wait_readable(*accepted, kSecond));
+  Bytes sink;
+  EXPECT_EQ(recv_some(*accepted, sink).code(), Err::kClosed);
+}
+
+// --- TcpTransport + Node over localhost ----------------------------------------
+
+TEST(TcpTransport, NodeRpcOverLocalhost) {
+  Reactor reactor;
+  TcpTransport transport(reactor);
+
+  // Pick two free ports by briefly binding.
+  std::uint16_t pa, pb;
+  {
+    auto l1 = tcp_listen(0);
+    auto l2 = tcp_listen(0);
+    pa = pick_port(*l1);
+    pb = pick_port(*l2);
+  }
+  Node server(reactor, transport, Endpoint{"127.0.0.1", pa});
+  Node client(reactor, transport, Endpoint{"127.0.0.1", pb});
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(client.start().ok());
+
+  server.handle(0x42, [](const IncomingMessage& m, Responder r) {
+    Bytes reply = m.packet.payload;
+    reply.push_back(0xFF);
+    r.ok(reply);
+  });
+
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), 0x42, {1, 2}, 2 * kSecond,
+              [&](Result<Bytes> r) { got = std::move(r); });
+  for (int i = 0; i < 100 && !got; ++i) reactor.run_for(20 * kMillisecond);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok()) << got->error().to_string();
+  EXPECT_EQ(got->value(), (Bytes{1, 2, 0xFF}));
+  // The reply reused the client's connection rather than dialling back.
+  EXPECT_EQ(transport.open_connections(), 2u);  // one inbound + one outbound view
+}
+
+TEST(TcpTransport, LargePayloadRoundTrip) {
+  Reactor reactor;
+  TcpTransport transport(reactor);
+  std::uint16_t pa, pb;
+  {
+    auto l1 = tcp_listen(0);
+    auto l2 = tcp_listen(0);
+    pa = pick_port(*l1);
+    pb = pick_port(*l2);
+  }
+  Node server(reactor, transport, Endpoint{"127.0.0.1", pa});
+  Node client(reactor, transport, Endpoint{"127.0.0.1", pb});
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(client.start().ok());
+  server.handle(0x43, [](const IncomingMessage& m, Responder r) {
+    r.ok(m.packet.payload);
+  });
+  // 4 MiB forces partial sends and the writable-watcher flush path.
+  Bytes big(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), 0x43, big, 10 * kSecond,
+              [&](Result<Bytes> r) { got = std::move(r); });
+  for (int i = 0; i < 500 && !got; ++i) reactor.run_for(20 * kMillisecond);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok()) << got->error().to_string();
+  EXPECT_EQ(got->value(), big);
+}
+
+TEST(TcpTransport, CliqueFormsOverRealSockets) {
+  // The whole-stack smoke test: two clique members, each with its own
+  // Reactor + TcpTransport ("process"), assemble over localhost TCP.
+  std::uint16_t pa, pb;
+  {
+    auto l1 = tcp_listen(0);
+    auto l2 = tcp_listen(0);
+    pa = pick_port(*l1);
+    pb = pick_port(*l2);
+  }
+  const std::vector<Endpoint> well_known = {Endpoint{"127.0.0.1", pa},
+                                            Endpoint{"127.0.0.1", pb}};
+  gossip::CliqueMember::Options opts;
+  opts.token_period = 100 * kMillisecond;
+  opts.probe_period = 150 * kMillisecond;
+  opts.hop_timeout = kSecond;
+
+  struct Member {
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> size{0};
+    std::thread thread;
+  };
+  Member members[2];
+  for (int i = 0; i < 2; ++i) {
+    members[i].thread = std::thread([&, i] {
+      Reactor reactor;
+      TcpTransport transport(reactor);
+      Node node(reactor, transport, well_known[static_cast<std::size_t>(i)]);
+      if (!node.start().ok()) return;
+      gossip::CliqueMember member(node, well_known, opts);
+      member.start();
+      while (!members[i].stop.load()) {
+        reactor.run_for(50 * kMillisecond);
+        members[i].size.store(member.view().members.size());
+      }
+      member.stop();
+    });
+  }
+  bool converged = false;
+  for (int tick = 0; tick < 200 && !converged; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    converged = members[0].size.load() == 2 && members[1].size.load() == 2;
+  }
+  members[0].stop = true;
+  members[1].stop = true;
+  members[0].thread.join();
+  members[1].thread.join();
+  EXPECT_TRUE(converged) << "sizes: " << members[0].size.load() << ", "
+                         << members[1].size.load();
+}
+
+TEST(TcpTransport, SendToDeadPortFails) {
+  Reactor reactor;
+  TcpTransport transport(reactor);
+  transport.set_connect_timeout(500 * kMillisecond);
+  Packet p;
+  const Status s =
+      transport.send(Endpoint{"127.0.0.1", 19998}, Endpoint{"127.0.0.1", 1}, p);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace ew

@@ -1,0 +1,267 @@
+// Integration tests for the scheduling servers and computational clients:
+// registration, progress reporting, logging, failure detection, migration,
+// and the counter-example path end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/client.hpp"
+#include "core/logging_service.hpp"
+#include "core/persistent_state.hpp"
+#include "core/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+#include "sim/sim_transport.hpp"
+
+namespace ew::core {
+namespace {
+
+class SchedulerClientTest : public ::testing::Test {
+ protected:
+  SchedulerClientTest() : net_(Rng(13)), transport_(events_, net_) {
+    net_.set_loss_rate(0.0);
+    net_.set_jitter_sigma(0.0);
+
+    log_node_ = std::make_unique<Node>(events_, transport_, Endpoint{"log", 401});
+    log_node_->start();
+    logging_ = std::make_unique<LoggingServer>(*log_node_);
+    logging_->start();
+
+    state_node_ = std::make_unique<Node>(events_, transport_, Endpoint{"state", 402});
+    state_node_->start();
+    state_ = std::make_unique<PersistentStateManager>(*state_node_);
+    state_->register_validator("ramsey/best/",
+                               PersistentStateManager::ramsey_validator());
+    state_->start();
+  }
+
+  SchedulerServer& add_scheduler(const std::string& host, int n, int k) {
+    auto node = std::make_unique<Node>(events_, transport_, Endpoint{host, 601});
+    node->start();
+    SchedulerServer::Options o;
+    o.logging = log_node_->self();
+    o.state_manager = state_node_->self();
+    o.pool.n = n;
+    o.pool.k = k;
+    o.sweep_period = 20 * kSecond;
+    o.migration_period = 30 * kSecond;
+    auto server = std::make_unique<SchedulerServer>(*node, o);
+    server->start();
+    sched_nodes_.push_back(std::move(node));
+    schedulers_.push_back(std::move(server));
+    return *schedulers_.back();
+  }
+
+  /// A modeled client on `host` delivering `rate` ops/sec.
+  RamseyClient& add_client(const std::string& host, double rate,
+                           std::vector<Endpoint> schedulers) {
+    auto node = std::make_unique<Node>(events_, transport_, Endpoint{host, 2000});
+    node->start();
+    RamseyClient::Options o;
+    o.schedulers = std::move(schedulers);
+    o.infra = Infra::kUnix;
+    o.host_label = host;
+    auto shared_rate = std::make_shared<double>(rate);
+    rates_[host] = shared_rate;
+    o.rate_source = [shared_rate] { return *shared_rate; };
+    o.report_interval = 30 * kSecond;
+    o.initial_sleep_max = 5 * kSecond;
+    o.retry_delay = 5 * kSecond;
+    o.seed = std::hash<std::string>{}(host);
+    auto client = std::make_unique<RamseyClient>(
+        *node, std::make_unique<ModeledWorkExecutor>(), o);
+    client->start();
+    client_nodes_.push_back(std::move(node));
+    clients_.push_back(std::move(client));
+    return *clients_.back();
+  }
+
+  void set_rate(const std::string& host, double rate) { *rates_[host] = rate; }
+
+  sim::EventQueue events_;
+  sim::NetworkModel net_;
+  sim::SimTransport transport_;
+  std::unique_ptr<Node> log_node_;
+  std::unique_ptr<LoggingServer> logging_;
+  std::unique_ptr<Node> state_node_;
+  std::unique_ptr<PersistentStateManager> state_;
+  std::vector<std::unique_ptr<Node>> sched_nodes_;
+  std::vector<std::unique_ptr<SchedulerServer>> schedulers_;
+  std::vector<std::unique_ptr<Node>> client_nodes_;
+  std::vector<std::unique_ptr<RamseyClient>> clients_;
+  std::map<std::string, std::shared_ptr<double>> rates_;
+};
+
+TEST_F(SchedulerClientTest, ClientRegistersAndReports) {
+  auto& sched = add_scheduler("sched", 42, 5);
+  auto& client = add_client("c1", 1e7, {Endpoint{"sched", 601}});
+  events_.run_for(5 * kMinute);
+  EXPECT_EQ(sched.active_clients(), 1u);
+  EXPECT_GT(sched.reports_received(), 5u);
+  EXPECT_GT(client.ops_reported(), 0u);
+  EXPECT_TRUE(client.has_work());
+}
+
+TEST_F(SchedulerClientTest, LoggingServiceRecordsProgress) {
+  add_scheduler("sched", 42, 5);
+  add_client("c1", 1e7, {Endpoint{"sched", 601}});
+  add_client("c2", 2e7, {Endpoint{"sched", 601}});
+  events_.run_for(10 * kMinute);
+  EXPECT_GT(logging_->records_received(), 10u);
+  EXPECT_GT(logging_->total_ops(Infra::kUnix), 1e9);
+  // Reported ops over 10 min at ~3e7/s total.
+  EXPECT_NEAR(static_cast<double>(logging_->total_ops()), 3e7 * 600, 3e7 * 600 * 0.4);
+}
+
+TEST_F(SchedulerClientTest, DeadClientDetectedAndWorkReclaimed) {
+  auto& sched = add_scheduler("sched", 42, 5);
+  add_client("c1", 1e7, {Endpoint{"sched", 601}});
+  events_.run_for(5 * kMinute);
+  ASSERT_EQ(sched.active_clients(), 1u);
+  // Kill the client silently (host reclaimed).
+  clients_[0]->stop();
+  transport_.set_host_up("c1", false);
+  events_.run_for(15 * kMinute);
+  EXPECT_EQ(sched.active_clients(), 0u);
+  EXPECT_EQ(sched.clients_presumed_dead(), 1u);
+  // The unit survived with its coloring.
+  EXPECT_EQ(sched.pool().idle_frontier_size(), 1u);
+}
+
+TEST_F(SchedulerClientTest, ClientFailsOverBetweenSchedulers) {
+  add_scheduler("sched-a", 42, 5);
+  add_scheduler("sched-b", 42, 5);
+  auto& client = add_client(
+      "c1", 1e7, {Endpoint{"sched-a", 601}, Endpoint{"sched-b", 601}});
+  events_.run_for(3 * kMinute);
+  ASSERT_EQ(schedulers_[0]->active_clients(), 1u);
+  // sched-a dies; the client must re-register with sched-b and keep working.
+  transport_.set_host_up("sched-a", false);
+  events_.run_for(15 * kMinute);
+  EXPECT_EQ(schedulers_[1]->active_clients(), 1u);
+  EXPECT_TRUE(client.has_work());
+  EXPECT_GE(client.registrations(), 2u);
+}
+
+TEST_F(SchedulerClientTest, SchedulerRestartForcesReRegistration) {
+  auto& sched = add_scheduler("sched", 42, 5);
+  auto& client = add_client("c1", 1e7, {Endpoint{"sched", 601}});
+  events_.run_for(3 * kMinute);
+  ASSERT_EQ(sched.active_clients(), 1u);
+  // Simulate a stateless scheduler restart: wipe by stop/start of a fresh
+  // server on the same endpoint.
+  schedulers_[0]->stop();
+  sched_nodes_[0]->stop();
+  sched_nodes_[0] = std::make_unique<Node>(events_, transport_, Endpoint{"sched", 601});
+  sched_nodes_[0]->start();
+  SchedulerServer::Options o;
+  o.logging = log_node_->self();
+  o.state_manager = state_node_->self();
+  o.pool.n = 42;
+  o.pool.k = 5;
+  schedulers_[0] = std::make_unique<SchedulerServer>(*sched_nodes_[0], o);
+  schedulers_[0]->start();
+  events_.run_for(10 * kMinute);
+  // The client hit "unregistered client", re-registered, and continued.
+  EXPECT_EQ(schedulers_[0]->active_clients(), 1u);
+  EXPECT_TRUE(client.has_work());
+  EXPECT_GE(client.registrations(), 2u);
+}
+
+TEST_F(SchedulerClientTest, MigrationMovesPromisingWorkToFastClient) {
+  auto& sched = add_scheduler("sched", 42, 5);
+  add_client("slow", 5e5, {Endpoint{"sched", 601}});
+  add_client("fast", 5e7, {Endpoint{"sched", 601}});
+  add_client("mid", 2e7, {Endpoint{"sched", 601}});
+  events_.run_for(30 * kMinute);
+  EXPECT_GT(sched.migrations(), 0u);
+}
+
+TEST_F(SchedulerClientTest, NoMigrationWhenRatesAreComparable) {
+  auto& sched = add_scheduler("sched", 42, 5);
+  add_client("a", 1.0e7, {Endpoint{"sched", 601}});
+  add_client("b", 1.1e7, {Endpoint{"sched", 601}});
+  add_client("c", 0.9e7, {Endpoint{"sched", 601}});
+  events_.run_for(30 * kMinute);
+  EXPECT_EQ(sched.migrations(), 0u);
+}
+
+TEST_F(SchedulerClientTest, CounterExampleFlowsToPersistentState) {
+  // Real executor on the easy R(3,3) instance: found quickly, then stored
+  // (and sanity-checked) at the persistent state manager.
+  add_scheduler("sched", 5, 3);
+  auto node = std::make_unique<Node>(events_, transport_, Endpoint{"real", 2000});
+  node->start();
+  RamseyClient::Options o;
+  o.schedulers = {Endpoint{"sched", 601}};
+  o.host_label = "real";
+  o.simulated_time = false;
+  o.initial_sleep_max = kSecond;
+  auto client = std::make_unique<RamseyClient>(
+      *node, std::make_unique<RealWorkExecutor>(), o);
+  client->start();
+  for (int i = 0; i < 100 && !state_->fetch(best_graph_name(5, 3)); ++i) {
+    events_.run_for(10 * kSecond);
+  }
+  client->stop();
+  ASSERT_TRUE(state_->fetch(best_graph_name(5, 3)).has_value());
+  EXPECT_GE(schedulers_[0]->counterexamples_stored(), 1u);
+  EXPECT_EQ(state_->stores_rejected(), 0u);  // every claim was genuine
+}
+
+TEST_F(SchedulerClientTest, BestGraphStateSharedViaApply) {
+  auto& a = add_scheduler("sched-a", 42, 5);
+  auto& b = add_scheduler("sched-b", 42, 5);
+  add_client("c1", 1e7, {Endpoint{"sched-a", 601}});
+  events_.run_for(10 * kMinute);
+  // Simulate a gossip delivering a's state to b.
+  const Bytes state = a.best_graph_state();
+  ASSERT_TRUE(gossip::blob_body(state).ok());
+  b.apply_best_graph_state(state);
+  EXPECT_EQ(b.best_graph_state(), state);
+}
+
+TEST_F(SchedulerClientTest, FrontierSurvivesSchedulerRestartViaCheckpoint) {
+  // The scheduler checkpoints its work frontier to the persistent state
+  // manager; a restarted scheduler resumes the search instead of starting
+  // from fresh random colorings.
+  add_scheduler("sched", 42, 5);
+  add_client("c1", 1e7, {Endpoint{"sched", 601}});
+  add_client("c2", 1e7, {Endpoint{"sched", 601}});
+  events_.run_for(20 * kMinute);  // several reports + checkpoints
+  ASSERT_TRUE(state_->fetch("sched/frontier/sched:601").has_value());
+
+  // Hard restart: a brand-new scheduler object on the same endpoint.
+  schedulers_[0]->stop();
+  sched_nodes_[0]->stop();
+  sched_nodes_[0] = std::make_unique<Node>(events_, transport_, Endpoint{"sched", 601});
+  sched_nodes_[0]->start();
+  SchedulerServer::Options o;
+  o.logging = log_node_->self();
+  o.state_manager = state_node_->self();
+  o.pool.n = 42;
+  o.pool.k = 5;
+  schedulers_[0] = std::make_unique<SchedulerServer>(*sched_nodes_[0], o);
+  schedulers_[0]->start();
+  events_.run_for(5 * kMinute);
+  EXPECT_GE(schedulers_[0]->frontier_units_restored(), 2u);
+  // Re-registering clients get resumed units, not fresh ones.
+  events_.run_for(15 * kMinute);
+  EXPECT_EQ(schedulers_[0]->active_clients(), 2u);
+}
+
+TEST_F(SchedulerClientTest, ThunderingHerdSpreadBySleep) {
+  add_scheduler("sched", 42, 5);
+  for (int i = 0; i < 20; ++i) {
+    add_client("c" + std::to_string(i), 1e7, {Endpoint{"sched", 601}});
+  }
+  // Within the first sleep window, registrations trickle rather than slam.
+  events_.run_for(2 * kSecond);
+  const std::size_t early = schedulers_[0]->active_clients();
+  events_.run_for(kMinute);
+  EXPECT_LT(early, 20u);
+  EXPECT_EQ(schedulers_[0]->active_clients(), 20u);
+}
+
+}  // namespace
+}  // namespace ew::core
