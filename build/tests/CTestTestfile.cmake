@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_reactor_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_forecast[1]_include.cmake")
+include("/root/repo/build/tests/test_timeout[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip_state[1]_include.cmake")
+include("/root/repo/build/tests/test_clique[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip_server[1]_include.cmake")
+include("/root/repo/build/tests/test_ramsey_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_ramsey_clique[1]_include.cmake")
+include("/root/repo/build/tests/test_ramsey_heuristic[1]_include.cmake")
+include("/root/repo/build/tests/test_work_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_persistent_state[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_client[1]_include.cmake")
+include("/root/repo/build/tests/test_infra[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_service_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_nws[1]_include.cmake")
+include("/root/repo/build/tests/test_directive_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_app_components[1]_include.cmake")
+include("/root/repo/build/tests/test_logging_misc[1]_include.cmake")
