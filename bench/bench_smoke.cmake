@@ -1,0 +1,14 @@
+# Smoke harness for the microbenchmarks: run each for one short iteration
+# and fail if either crashes or rejects its flags. Invoked by the
+# `bench_smoke` CTest target (see CMakeLists.txt here).
+execute_process(COMMAND ${MICRO_FORECAST} --quick RESULT_VARIABLE rc_forecast)
+if(NOT rc_forecast EQUAL 0)
+  message(FATAL_ERROR "micro_forecast --quick failed (exit ${rc_forecast})")
+endif()
+
+execute_process(
+  COMMAND ${MICRO_PACKET} --benchmark_min_time=0.01 --benchmark_filter=BM_EncodePacket/64|BM_FrameParseChunked/1460
+  RESULT_VARIABLE rc_packet)
+if(NOT rc_packet EQUAL 0)
+  message(FATAL_ERROR "micro_packet smoke run failed (exit ${rc_packet})")
+endif()

@@ -113,9 +113,9 @@ int main() {
               dirs[0]->directory().size());
   const Forecast f = nws_mods[0]->forecast("latency:srv2:700");
   std::printf("srv0's forecast of srv2 responsiveness: %.1f ms over %zu samples "
-              "(method %s)\n",
+              "(method %.*s)\n",
               to_seconds(static_cast<Duration>(f.value)) * 1e3, f.samples,
-              f.method.c_str());
+              static_cast<int>(f.method.size()), f.method.data());
 
   std::printf("\nkilling srv2...\n");
   servers[2]->stop();

@@ -12,8 +12,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "forecast/selector.hpp"
@@ -44,11 +48,27 @@ struct EventTagHash {
 };
 
 /// One adaptive forecaster per tagged event stream.
+///
+/// A node tracks a small, slowly-growing set of (server, message type)
+/// pairs, but records into them on every single RPC — so the map's buckets
+/// are pre-reserved to keep the hot path rehash-free, and a whole replayed
+/// trace can be absorbed in one call via record_batch.
 class EventForecasterBank {
  public:
+  /// `expected_events` pre-reserves hash buckets; the default comfortably
+  /// covers a node talking to a few dozen servers with a handful of message
+  /// types each.
+  explicit EventForecasterBank(std::size_t expected_events = 64) {
+    bank_.reserve(expected_events);
+  }
+
   /// Record a measurement (e.g. a request/response round-trip, in
   /// microseconds) for the event.
   void record(const EventTag& tag, double value);
+
+  /// Record a whole measurement trace for the event with a single tag
+  /// lookup (replayed simulator traces, bulk imports).
+  void record_batch(const EventTag& tag, std::span<const double> values);
 
   /// Forecast for the event; Forecast::samples == 0 means never measured.
   [[nodiscard]] Forecast forecast(const EventTag& tag) const;
@@ -57,7 +77,38 @@ class EventForecasterBank {
   [[nodiscard]] bool knows(const EventTag& tag) const { return bank_.contains(tag); }
 
  private:
+  AdaptiveForecaster& stream(const EventTag& tag);
   std::unordered_map<EventTag, AdaptiveForecaster, EventTagHash> bank_;
+};
+
+/// Thread-safe EventForecasterBank for components whose recording paths run
+/// concurrently (scheduler, gossip and timeout layers all record into one
+/// bank in the threaded deployments). Tags are hashed onto `shards`
+/// independently-locked banks, so recorders for different events proceed in
+/// parallel instead of serializing on one map-wide lock; the same event tag
+/// always lands on the same shard, preserving per-stream ordering.
+class ShardedEventForecasterBank {
+ public:
+  explicit ShardedEventForecasterBank(std::size_t shards = 8,
+                                      std::size_t expected_events_per_shard = 16);
+
+  void record(const EventTag& tag, double value);
+  void record_batch(const EventTag& tag, std::span<const double> values);
+  [[nodiscard]] Forecast forecast(const EventTag& tag) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t tracked_events() const;
+  [[nodiscard]] bool knows(const EventTag& tag) const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t expected) : bank(expected) {}
+    mutable std::mutex mu;
+    EventForecasterBank bank;
+  };
+  [[nodiscard]] Shard& shard_for(const EventTag& tag) const;
+  // unique_ptr: Shard holds a mutex and must stay address-stable.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// RAII timing primitive: measures the time from construction to finish()

@@ -2,28 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace ew {
 
+// trim = 0.5 is allowed and degenerates to the median (everything but the
+// middle is cut away); above that the trim would be ill-defined.
 TrimmedMean::TrimmedMean(std::size_t window, double trim)
-    : win_(window), window_(window), trim_(std::clamp(trim, 0.0, 0.45)) {}
+    : win_(window), window_(window), trim_(std::clamp(trim, 0.0, 0.5)) {}
 
 std::string TrimmedMean::name() const {
   return "trim_mean(" + std::to_string(window_) + "," +
          std::to_string(static_cast<int>(trim_ * 100)) + "%)";
 }
 
-double TrimmedMean::predict() const {
-  if (win_.empty()) return 0.0;
-  std::vector<double> v(win_.values().begin(), win_.values().end());
-  std::sort(v.begin(), v.end());
-  const auto cut = static_cast<std::size_t>(trim_ * static_cast<double>(v.size()));
+double TrimmedMean::observe(double v) {
+  win_.add(v);
+  const std::size_t n = win_.size();
+  const auto cut = static_cast<std::size_t>(trim_ * static_cast<double>(n));
   const std::size_t lo = cut;
-  const std::size_t hi = v.size() - cut;
-  if (lo >= hi) return v[v.size() / 2];
-  double s = 0.0;
-  for (std::size_t i = lo; i < hi; ++i) s += v[i];
-  return s / static_cast<double>(hi - lo);
+  const std::size_t hi = n - cut;
+  if (lo >= hi) {
+    // Degenerate trim (everything cut away): fall back to the median under
+    // the same nearest-rank rule SlidingMedian applies.
+    cached_ = win_.median();
+  } else {
+    cached_ = win_.range_sum(lo, hi) / static_cast<double>(hi - lo);
+  }
+  return cached_;
 }
 
 std::string ExpSmooth::name() const {
@@ -38,11 +44,11 @@ AdaptiveExpSmooth::AdaptiveExpSmooth(double initial_gain, double min_gain,
       min_gain_(min_gain),
       max_gain_(max_gain) {}
 
-void AdaptiveExpSmooth::observe(double v) {
+double AdaptiveExpSmooth::observe(double v) {
   if (!seeded_) {
     value_ = v;
     seeded_ = true;
-    return;
+    return value_;
   }
   const double err = v - value_;
   // Trigg-Leach tracking signal: |smoothed error| / smoothed |error|.
@@ -54,28 +60,49 @@ void AdaptiveExpSmooth::observe(double v) {
                        max_gain_);
   }
   value_ = gain_ * v + (1.0 - gain_) * value_;
+  return value_;
 }
 
-double TrendForecaster::predict() const {
-  const auto& vals = win_.values();
-  const std::size_t n = vals.size();
-  if (n == 0) return 0.0;
-  if (n == 1) return vals.back();
-  // Least-squares fit of value against index; extrapolate one step.
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  std::size_t i = 0;
-  for (double v : vals) {
-    const auto x = static_cast<double>(i++);
-    sx += x;
-    sy += v;
-    sxx += x * x;
-    sxy += x * v;
+TrendForecaster::TrendForecaster(std::size_t window)
+    : window_(window), ring_(window) {
+  if (window == 0) throw std::invalid_argument("TrendForecaster: zero window");
+}
+
+double TrendForecaster::observe(double v) {
+  if (size_ < window_) {
+    // Warm-up: the new value lands at index size_ with no eviction.
+    ring_[(head_ + size_) % window_] = v;
+    sxy_ += static_cast<double>(size_) * v;
+    sy_ += v;
+    ++size_;
+  } else {
+    // Slide: drop y_0 (its i*y term is zero), re-index the survivors (every
+    // index falls by one, so sxy loses one copy of their sum), append at the
+    // back.
+    const double oldest = ring_[head_];
+    ring_[head_] = v;
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+    sy_ -= oldest;
+    sxy_ -= sy_;
+    sy_ += v;
+    sxy_ += static_cast<double>(window_ - 1) * v;
   }
+  return cached_ = compute();
+}
+
+double TrendForecaster::compute() const {
+  const std::size_t n = size_;
+  if (n == 0) return 0.0;
+  if (n == 1) return sy_;
+  // Least-squares fit of value against window index; extrapolate one step.
+  // sx and sxx depend only on n: sums of 0..n-1 and their squares.
   const auto dn = static_cast<double>(n);
+  const double sx = dn * (dn - 1.0) / 2.0;
+  const double sxx = (dn - 1.0) * dn * (2.0 * dn - 1.0) / 6.0;
   const double denom = dn * sxx - sx * sx;
-  if (std::abs(denom) < 1e-12) return sy / dn;
-  const double slope = (dn * sxy - sx * sy) / denom;
-  const double intercept = (sy - slope * sx) / dn;
+  if (std::abs(denom) < 1e-12) return sy_ / dn;
+  const double slope = (dn * sxy_ - sx * sy_) / denom;
+  const double intercept = (sy_ - slope * sx) / dn;
   return intercept + slope * dn;  // next index is n
 }
 

@@ -3,9 +3,14 @@
 // The Network Weather Service applies "a set of light-weight time series
 // forecasting methods" to each measurement stream and dynamically selects
 // whichever has been most accurate (selector.hpp). This file implements the
-// method battery: each Forecaster consumes observations one at a time and
-// produces a prediction of the next value in O(1)–O(window) time, because at
-// SC98 forecasts were made inline on every request/response event.
+// method battery. Because at SC98 forecasts were made inline on every
+// request/response event, every method here is **fully incremental**: state
+// is updated in O(1)–O(log w) per observation and the standing prediction is
+// maintained alongside it, so predict() is always an O(1) read of cached
+// state — no method re-derives its forecast from the raw window. observe()
+// returns the refreshed standing prediction so the adaptive selector can run
+// its scoring pass without a second round of virtual calls (see DESIGN.md,
+// "Forecasting hot path").
 #pragma once
 
 #include <cstddef>
@@ -18,14 +23,18 @@
 namespace ew {
 
 /// One forecasting method over a scalar measurement stream.
+/// Streams are NaN-free by contract (dynamic benchmarking records elapsed
+/// times and rates, never missing values).
 class Forecaster {
  public:
   virtual ~Forecaster() = default;
   /// Stable identifier used in logs and EXPERIMENTS.md tables.
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Incorporate the next observed value.
-  virtual void observe(double value) = 0;
+  /// Incorporate the next observed value and return the updated standing
+  /// prediction (identical to what predict() returns afterwards).
+  virtual double observe(double value) = 0;
   /// Prediction of the next value. Before any observation, returns 0.
+  /// Always O(1): implementations cache their standing prediction.
   [[nodiscard]] virtual double predict() const = 0;
 };
 
@@ -33,7 +42,7 @@ class Forecaster {
 class LastValue final : public Forecaster {
  public:
   [[nodiscard]] std::string name() const override { return "last"; }
-  void observe(double v) override { last_ = v; }
+  double observe(double v) override { return last_ = v; }
   [[nodiscard]] double predict() const override { return last_; }
 
  private:
@@ -44,7 +53,10 @@ class LastValue final : public Forecaster {
 class RunningMean final : public Forecaster {
  public:
   [[nodiscard]] std::string name() const override { return "run_avg"; }
-  void observe(double v) override { stats_.add(v); }
+  double observe(double v) override {
+    stats_.add(v);
+    return stats_.mean();
+  }
   [[nodiscard]] double predict() const override { return stats_.mean(); }
 
  private:
@@ -52,13 +64,17 @@ class RunningMean final : public Forecaster {
 };
 
 /// Mean over the trailing `window` observations ("SW_AVG(k)").
+/// O(1) via the window's running sum.
 class SlidingMean final : public Forecaster {
  public:
   explicit SlidingMean(std::size_t window) : win_(window), window_(window) {}
   [[nodiscard]] std::string name() const override {
     return "sw_avg(" + std::to_string(window_) + ")";
   }
-  void observe(double v) override { win_.add(v); }
+  double observe(double v) override {
+    win_.add(v);
+    return win_.mean();
+  }
   [[nodiscard]] double predict() const override { return win_.mean(); }
 
  private:
@@ -68,34 +84,48 @@ class SlidingMean final : public Forecaster {
 
 /// Median over the trailing `window` observations ("MEDIAN(k)").
 /// Robust to the load spikes that dominated SC98 response times.
+/// Incremental: O(log w) insert/evict into an ordered window, O(1) median
+/// read. The median is nearest-rank (lower middle element at even sizes),
+/// bit-identical to the naive sort-based battery at every window size.
 class SlidingMedian final : public Forecaster {
  public:
   explicit SlidingMedian(std::size_t window) : win_(window), window_(window) {}
   [[nodiscard]] std::string name() const override {
     return "median(" + std::to_string(window_) + ")";
   }
-  void observe(double v) override { win_.add(v); }
+  double observe(double v) override {
+    win_.add(v);
+    return win_.median();
+  }
   [[nodiscard]] double predict() const override {
     return win_.empty() ? 0.0 : win_.median();
   }
 
  private:
-  SlidingWindow win_;
+  OrderedWindow win_;
   std::size_t window_;
 };
 
 /// Trimmed mean: drop the top/bottom `trim` fraction, average the rest.
+/// Maintained from the same ordered window as the median: each observe is
+/// one O(log w) insert/evict plus a short sum over the surviving middle
+/// ranks, cached as the standing prediction. When the trim consumes the
+/// whole window (trim = 0.5 at even sizes), the prediction degenerates to
+/// the median — the same nearest-rank rule SlidingMedian uses — instead of
+/// an arbitrary order statistic (the naive version returned the *upper*
+/// middle element there, disagreeing with the median at even sizes).
 class TrimmedMean final : public Forecaster {
  public:
   TrimmedMean(std::size_t window, double trim);
   [[nodiscard]] std::string name() const override;
-  void observe(double v) override { win_.add(v); }
-  [[nodiscard]] double predict() const override;
+  double observe(double v) override;
+  [[nodiscard]] double predict() const override { return cached_; }
 
  private:
-  SlidingWindow win_;
+  OrderedWindow win_;
   std::size_t window_;
   double trim_;
+  double cached_ = 0.0;
 };
 
 /// Exponential smoothing with fixed gain ("EXP_SMOOTH(g)").
@@ -103,9 +133,10 @@ class ExpSmooth final : public Forecaster {
  public:
   explicit ExpSmooth(double gain) : gain_(gain) {}
   [[nodiscard]] std::string name() const override;
-  void observe(double v) override {
+  double observe(double v) override {
     value_ = seeded_ ? gain_ * v + (1.0 - gain_) * value_ : v;
     seeded_ = true;
+    return value_;
   }
   [[nodiscard]] double predict() const override { return value_; }
 
@@ -123,7 +154,7 @@ class AdaptiveExpSmooth final : public Forecaster {
   AdaptiveExpSmooth(double initial_gain = 0.2, double min_gain = 0.05,
                     double max_gain = 0.95);
   [[nodiscard]] std::string name() const override { return "adapt_exp"; }
-  void observe(double v) override;
+  double observe(double v) override;
   [[nodiscard]] double predict() const override { return value_; }
   [[nodiscard]] double gain() const { return gain_; }
 
@@ -138,18 +169,26 @@ class AdaptiveExpSmooth final : public Forecaster {
 };
 
 /// Linear trend over the trailing window (least-squares slope extrapolation).
+/// O(1) per observation: the index/value cross sums are rolled forward when
+/// the window slides instead of being rebuilt from the raw values.
 class TrendForecaster final : public Forecaster {
  public:
-  explicit TrendForecaster(std::size_t window) : win_(window), window_(window) {}
+  explicit TrendForecaster(std::size_t window);
   [[nodiscard]] std::string name() const override {
     return "trend(" + std::to_string(window_) + ")";
   }
-  void observe(double v) override { win_.add(v); }
-  [[nodiscard]] double predict() const override;
+  double observe(double v) override;
+  [[nodiscard]] double predict() const override { return cached_; }
 
  private:
-  SlidingWindow win_;
+  [[nodiscard]] double compute() const;
   std::size_t window_;
+  std::vector<double> ring_;  // arrival order, ring buffer
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sy_ = 0.0;   // sum of y_i over the window
+  double sxy_ = 0.0;  // sum of i * y_i, i = 0 at the window's oldest element
+  double cached_ = 0.0;
 };
 
 /// The default NWS-like battery used throughout the toolkit.

@@ -6,10 +6,14 @@ namespace ew {
 
 AdaptiveForecaster::AdaptiveForecaster(
     std::vector<std::unique_ptr<Forecaster>> battery)
-    : battery_(std::move(battery)), errors_(battery_.size()) {
+    : battery_(std::move(battery)),
+      errors_(battery_.size()),
+      predictions_(battery_.size(), 0.0) {
   if (battery_.empty()) {
     throw std::invalid_argument("AdaptiveForecaster: empty battery");
   }
+  names_.reserve(battery_.size());
+  for (const auto& m : battery_) names_.push_back(m->name());
 }
 
 AdaptiveForecaster AdaptiveForecaster::nws_default() {
@@ -17,15 +21,24 @@ AdaptiveForecaster AdaptiveForecaster::nws_default() {
 }
 
 void AdaptiveForecaster::observe(double value) {
-  // Score first (each method's standing prediction vs. the new truth),
-  // then let the methods see the value.
+  // Score the cached standing predictions against the new truth, then let
+  // each method absorb it; the method's observe() returns the refreshed
+  // standing prediction, so the whole pass makes one virtual call per
+  // method and recomputes nothing.
+  const std::size_t n = battery_.size();
   if (samples_ > 0) {
-    for (std::size_t i = 0; i < battery_.size(); ++i) {
-      errors_[i].add(battery_[i]->predict(), value);
+    for (std::size_t i = 0; i < n; ++i) {
+      errors_[i].add(predictions_[i], value);
     }
   }
-  for (auto& m : battery_) m->observe(value);
+  for (std::size_t i = 0; i < n; ++i) {
+    predictions_[i] = battery_[i]->observe(value);
+  }
   ++samples_;
+}
+
+void AdaptiveForecaster::observe(std::span<const double> values) {
+  for (double v : values) observe(v);
 }
 
 std::size_t AdaptiveForecaster::best_index() const {
@@ -41,9 +54,9 @@ Forecast AdaptiveForecaster::forecast() const {
   f.samples = samples_;
   if (samples_ == 0) return f;
   const std::size_t best = best_index();
-  f.value = battery_[best]->predict();
+  f.value = predictions_[best];
   f.error = errors_[best].mae();
-  f.method = battery_[best]->name();
+  f.method = names_[best];
   return f;
 }
 
@@ -55,10 +68,7 @@ std::vector<double> AdaptiveForecaster::method_mae() const {
 }
 
 std::vector<std::string> AdaptiveForecaster::method_names() const {
-  std::vector<std::string> out;
-  out.reserve(battery_.size());
-  for (const auto& m : battery_) out.push_back(m->name());
-  return out;
+  return names_;
 }
 
 }  // namespace ew

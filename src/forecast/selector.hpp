@@ -6,10 +6,20 @@
 // is absorbed, every method is scored on how well it predicted it, and
 // predict() answers with the method that currently has the lowest cumulative
 // mean absolute error.
+//
+// Hot-path contract (see DESIGN.md, "Forecasting hot path"): the selector
+// caches every method's standing prediction. observe() scores the cached
+// predictions against the new truth (plain array reads, no virtual calls)
+// and then makes exactly one virtual call per method — observe(), which
+// updates the method incrementally and hands back the refreshed standing
+// prediction. forecast() is allocation-free: the method name is an interned
+// string_view into storage owned by this selector.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -20,9 +30,12 @@ namespace ew {
 /// A point forecast plus its expected error (the winner's historical MAE).
 struct Forecast {
   double value = 0.0;
-  double error = 0.0;        // MAE of the selected method so far
-  std::size_t samples = 0;   // observations absorbed
-  std::string method;        // name of the selected method
+  double error = 0.0;       // MAE of the selected method so far
+  std::size_t samples = 0;  // observations absorbed
+  /// Name of the selected method. Interned: views storage owned by the
+  /// AdaptiveForecaster that produced it (stable across moves of the
+  /// selector); copy into a std::string if the forecast must outlive it.
+  std::string_view method;
 };
 
 class AdaptiveForecaster {
@@ -35,6 +48,11 @@ class AdaptiveForecaster {
 
   /// Score all methods against `value`, then absorb it.
   void observe(double value);
+
+  /// Absorb a whole measurement trace (replayed simulator traces, warm-up
+  /// runs): same result as calling observe() per element, with one bounds
+  /// check and battery sweep set-up per batch instead of per sample.
+  void observe(std::span<const double> values);
 
   /// Best-method forecast of the next value.
   [[nodiscard]] Forecast forecast() const;
@@ -49,6 +67,14 @@ class AdaptiveForecaster {
   [[nodiscard]] std::size_t best_index() const;
   std::vector<std::unique_ptr<Forecaster>> battery_;
   std::vector<ErrorTracker> errors_;
+  // Standing predictions, refreshed on every observe; predictions_[i] is
+  // exactly battery_[i]->predict() but read without a virtual dispatch.
+  std::vector<double> predictions_;
+  // Interned method names; forecast().method views into these. The strings
+  // are written once at construction and never touched again, so the views
+  // survive moves of the selector (the vector's element buffer moves with
+  // it).
+  std::vector<std::string> names_;
   std::size_t samples_ = 0;
 };
 

@@ -34,7 +34,7 @@ void AdaptiveTimeout::on_result(const EventTag& tag, Duration rtt, bool ok) {
     bank_.record(tag, static_cast<double>(rtt));
     auto it = tails_.find(tag);
     if (it == tails_.end()) {
-      it = tails_.emplace(tag, SlidingWindow(opts_.tail_window)).first;
+      it = tails_.emplace(tag, OrderedWindow(opts_.tail_window)).first;
     }
     it->second.add(static_cast<double>(rtt));
     return;

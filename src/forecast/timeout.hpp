@@ -88,8 +88,10 @@ class AdaptiveTimeout final : public TimeoutPolicy {
  private:
   Options opts_;
   EventForecasterBank bank_;
-  // Per-tag trailing RTT windows for the tail-quantile term.
-  mutable std::unordered_map<EventTag, SlidingWindow, EventTagHash> tails_;
+  // Per-tag trailing RTT windows for the tail-quantile term. Ordered
+  // incrementally so timeout() reads the quantile in O(1) instead of
+  // copying and partially sorting the window on every request.
+  mutable std::unordered_map<EventTag, OrderedWindow, EventTagHash> tails_;
 };
 
 }  // namespace ew

@@ -22,6 +22,13 @@ void FrameParser::feed(std::span<const std::uint8_t> data) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
     pos_ = 0;
   }
+  // Grow geometrically up front: insert() alone reallocates to the exact
+  // size, so a stream of small reads would otherwise reallocate (and copy
+  // the whole reassembly buffer) on nearly every feed.
+  const std::size_t need = buf_.size() + data.size();
+  if (need > buf_.capacity()) {
+    buf_.reserve(std::max(need, buf_.capacity() * 2));
+  }
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
@@ -63,6 +70,18 @@ Result<Packet> FrameParser::next() {
   p.type = *type;
   p.seq = *seq;
   const std::size_t payload_at = pos_ + wire::kHeaderSize;
+  if (pos_ == 0 && buf_.size() == wire::kHeaderSize + *len) {
+    // The frame is exactly the buffer: steal the buffer instead of copying
+    // the payload out (the common case — one whole packet per read on
+    // request/response traffic). Trimming the header is a memmove within
+    // the stolen allocation, not a fresh allocation + copy.
+    p.payload = std::move(buf_);
+    p.payload.erase(p.payload.begin(),
+                    p.payload.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderSize));
+    buf_.clear();
+    pos_ = 0;
+    return p;
+  }
   p.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(payload_at),
                    buf_.begin() + static_cast<std::ptrdiff_t>(payload_at + *len));
   pos_ = payload_at + *len;

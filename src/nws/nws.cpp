@@ -107,7 +107,7 @@ void NwsStationModule::attach(core::ServiceContext& ctx) {
     reply.value = f.value;
     reply.error = f.error;
     reply.samples = f.samples;
-    reply.method = f.method;
+    reply.method = std::string(f.method);
     r.ok(reply.serialize());
   });
   ctx.every(opts_.probe_period, [this] {

@@ -35,4 +35,31 @@ const Spike* SpikeSchedule::active(TimePoint t) const {
   return nullptr;
 }
 
+MeasurementTrace MeasurementTrace::synthetic_rtt(std::size_t n, Rng rng,
+                                                 RttParams p) {
+  std::vector<double> v;
+  v.reserve(n);
+  Ar1Process load(Ar1Process::Params{}, Rng(rng.next_u64()), 0.7);
+  std::size_t spike_left = 0;
+  const double mu = std::log(p.base) - p.sigma * p.sigma / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spike_left == 0 && rng.next_double() < p.spike_prob) {
+      spike_left = p.spike_len;
+    }
+    // Low availability -> slow responses: divide by the AR(1) load factor.
+    double rtt = rng.lognormal(mu, p.sigma) / std::max(load.step(), 0.05);
+    if (spike_left > 0) {
+      rtt *= p.spike_factor;
+      --spike_left;
+    }
+    v.push_back(rtt);
+  }
+  return MeasurementTrace(std::move(v));
+}
+
+void MeasurementTrace::replay_into(EventForecasterBank& bank,
+                                   const EventTag& tag) const {
+  bank.record_batch(tag, values_);
+}
+
 }  // namespace ew::sim

@@ -13,6 +13,7 @@
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "forecast/dynamic_benchmark.hpp"
 
 namespace ew::sim {
 
@@ -86,6 +87,41 @@ class SpikeSchedule {
 
  private:
   std::vector<Spike> spikes_;
+};
+
+/// A pre-generated scalar measurement trace — the shape the dynamic
+/// benchmarking layer sees when a recorded run is replayed rather than
+/// measured live. synthetic_rtt() produces the SC98-style round-trip
+/// profile: a lognormal service-time baseline modulated by a mean-reverting
+/// AR(1) load factor, with occasional contention spikes. replay_into()
+/// pushes the whole trace through EventForecasterBank::record_batch, the
+/// bulk entry point of the forecast layer.
+class MeasurementTrace {
+ public:
+  struct RttParams {
+    double base = 100.0e3;      // median service time (e.g. microseconds)
+    double sigma = 0.25;        // lognormal shape of the per-request noise
+    double spike_factor = 8.0;  // multiplier while a load spike is active
+    double spike_prob = 0.01;   // per-sample probability a spike begins
+    std::size_t spike_len = 20; // samples a spike lasts
+  };
+
+  explicit MeasurementTrace(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  static MeasurementTrace synthetic_rtt(std::size_t n, Rng rng, RttParams p);
+  static MeasurementTrace synthetic_rtt(std::size_t n, Rng rng) {
+    return synthetic_rtt(n, rng, RttParams{});
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Bulk-replay the trace into a bank as measurements of `tag`.
+  void replay_into(EventForecasterBank& bank, const EventTag& tag) const;
+
+ private:
+  std::vector<double> values_;
 };
 
 }  // namespace ew::sim

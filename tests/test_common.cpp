@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <deque>
 #include <set>
 #include <thread>
 
@@ -297,6 +298,86 @@ TEST(SlidingWindow, MedianOddEven) {
   EXPECT_DOUBLE_EQ(w.median(), 3.0);
   w.add(9);
   EXPECT_DOUBLE_EQ(w.median(), 3.0);  // nearest-rank of {1,3,5,9} -> 3
+}
+
+TEST(OrderedWindow, KeepsRankOrderWhileSliding) {
+  OrderedWindow w(3);
+  for (double v : {5.0, 1.0, 3.0}) w.add(v);
+  EXPECT_DOUBLE_EQ(w.at_rank(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at_rank(2), 5.0);
+  w.add(2.0);  // evicts 5 -> {1,3,2}
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.at_rank(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at_rank(1), 2.0);
+  EXPECT_DOUBLE_EQ(w.at_rank(2), 3.0);
+  EXPECT_DOUBLE_EQ(w.back(), 2.0);
+}
+
+TEST(OrderedWindow, MedianIsNearestRank) {
+  // Same nearest-rank definition as SlidingWindow::quantile(0.5): the lower
+  // middle element for even sizes.
+  OrderedWindow w(4);
+  w.add(1);
+  w.add(9);
+  EXPECT_DOUBLE_EQ(w.median(), 1.0);
+  w.add(3);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);
+  w.add(5);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);  // {1,3,5,9}
+}
+
+TEST(OrderedWindow, QuantileMatchesSlidingWindow) {
+  // Same nearest-rank rule as SlidingWindow::quantile, just O(1).
+  OrderedWindow ow(10);
+  SlidingWindow sw(10);
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(0, 1000);
+    ow.add(v);
+    sw.add(v);
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.98, 1.0}) {
+      EXPECT_DOUBLE_EQ(ow.quantile(q), sw.quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(OrderedWindow, RangeSumAndClear) {
+  OrderedWindow w(5);
+  for (double v : {4.0, 1.0, 2.0, 8.0, 16.0}) w.add(v);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 5), 31.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(1, 4), 2.0 + 4.0 + 8.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(3, 99), 8.0 + 16.0);  // hi clamped to size
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_THROW((void)w.median(), std::logic_error);
+}
+
+TEST(OrderedWindow, ZeroCapacityThrows) {
+  EXPECT_THROW(OrderedWindow(0), std::invalid_argument);
+}
+
+TEST(OrderedWindow, MatchesMultisetReferenceUnderChurn) {
+  // Rank-by-rank agreement with a std::multiset reference across thousands
+  // of insert+evict cycles, including duplicates.
+  OrderedWindow w(16);
+  std::multiset<double> ref;
+  std::deque<double> fifo;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::floor(rng.uniform(0, 40));  // forces duplicates
+    w.add(v);
+    fifo.push_back(v);
+    ref.insert(v);
+    if (fifo.size() > 16) {
+      ref.erase(ref.find(fifo.front()));
+      fifo.pop_front();
+    }
+    std::size_t r = 0;
+    for (double x : ref) {
+      ASSERT_DOUBLE_EQ(w.at_rank(r), x) << "rank " << r << " at step " << i;
+      ++r;
+    }
+  }
 }
 
 TEST(SlidingWindow, QuantileBounds) {

@@ -47,6 +47,39 @@ TEST(TrimmedMean, DropsTails) {
   EXPECT_DOUBLE_EQ(f.predict(), 10.0);
 }
 
+TEST(TrimmedMean, DegenerateTrimMatchesMedian) {
+  // trim = 0.5 cuts everything but the middle: the prediction must agree
+  // with SlidingMedian at every step, including the even-size nearest-rank
+  // rule during warm-up (the naive version returned the upper middle
+  // element there).
+  TrimmedMean f(4, 0.5);
+  SlidingMedian m(4);
+  for (double v : {8.0, 2.0, 4.0, 16.0, 1.0}) {
+    EXPECT_DOUBLE_EQ(f.observe(v), m.observe(v));
+  }
+  EXPECT_DOUBLE_EQ(f.predict(), m.predict());
+}
+
+TEST(SlidingMedian, EvenSizesUseNearestRankDuringWarmup) {
+  SlidingMedian f(5);
+  f.observe(10.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 10.0);
+  f.observe(20.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 10.0);  // nearest-rank of {10,20}
+}
+
+TEST(Forecaster, ObserveReturnsStandingPrediction) {
+  // The hot-path contract: observe() hands back exactly what predict()
+  // answers afterwards, for every battery member.
+  Rng rng(3);
+  for (auto& m : default_battery()) {
+    for (int i = 0; i < 100; ++i) {
+      const double got = m->observe(rng.uniform(0, 1000));
+      ASSERT_EQ(got, m->predict()) << m->name() << " step " << i;
+    }
+  }
+}
+
 TEST(ExpSmooth, SeedsWithFirstValue) {
   ExpSmooth f(0.5);
   f.observe(10);

@@ -36,6 +36,35 @@ TEST(FrameParser, RoundTripSinglePacket) {
   EXPECT_EQ(fp.next().code(), Err::kUnavailable);
 }
 
+TEST(FrameParser, PrefixMoveOutKeepsStreamUsable) {
+  // When the buffer holds exactly one whole frame the parser steals the
+  // buffer instead of copying the payload; the parser must stay fully
+  // usable for subsequent frames afterwards.
+  FrameParser fp;
+  const Bytes big(100'000, 0x5A);
+  fp.feed(encode_packet(make_packet(PacketKind::kRequest, 3, 1, big)));
+  auto first = fp.next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->payload, big);
+  EXPECT_EQ(fp.buffered(), 0u);
+
+  // Next frame arrives split across feeds (copy path), then one whole
+  // frame again (steal path).
+  const Bytes wire2 = encode_packet(make_packet(PacketKind::kResponse, 4, 2, {1, 2}));
+  fp.feed(std::span(wire2).subspan(0, 5));
+  EXPECT_EQ(fp.next().code(), Err::kUnavailable);
+  fp.feed(std::span(wire2).subspan(5));
+  auto second = fp.next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->payload, (Bytes{1, 2}));
+
+  fp.feed(encode_packet(make_packet(PacketKind::kOneWay, 5, 3, {7})));
+  auto third = fp.next();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->payload, (Bytes{7}));
+  EXPECT_FALSE(fp.poisoned());
+}
+
 TEST(FrameParser, EmptyPayload) {
   FrameParser fp;
   fp.feed(encode_packet(make_packet(PacketKind::kOneWay, 1, 0, {})));
