@@ -1,4 +1,5 @@
-// Ablation (Section 2.2): dynamic time-out discovery vs static time-outs.
+// Ablation (Section 2.2): dynamic time-out discovery vs static time-outs,
+// plus the reliable-call policy layered on top of it.
 //
 // "Using the alternative of statically determined time-outs, the system
 // frequently misjudged the availability (or lack thereof) of the different
@@ -6,20 +7,45 @@
 // reconfigurations. ... This dynamic time-out discovery proved crucial to
 // overall program stability."
 //
-// The metric is stability, exactly as the paper frames it: a *spurious
-// time-out* is a call the policy abandoned whose response later arrived —
-// the server was alive, the time-out misjudged it, and the caller performed
-// a needless retry/re-registration. A *slow* policy instead wastes time
-// waiting on genuinely-lost messages. The adaptive policy must sit in the
-// corner statics cannot reach: few misjudgments AND short waits, without
-// hand tuning.
+// Part 1 — the time-out itself. The metric is stability, exactly as the
+// paper frames it: a *spurious time-out* is a call the policy abandoned
+// whose response later arrived — the server was alive, the time-out
+// misjudged it, and the caller performed a needless retry/re-registration.
+// A *slow* policy instead wastes time waiting on genuinely-lost messages.
+// The adaptive policy must sit in the corner statics cannot reach: few
+// misjudgments AND short waits, without hand tuning.
+//
+// Part 2 — what the time-out actuates. With the forecast pricing each
+// attempt, CallOptions can ask for in-call retries and forecast-triggered
+// hedges. Under injected message loss the policy arms must complete more
+// calls than the bare single-attempt arm while spending no more than 1.3x
+// its packets. Emits ONE machine-readable JSON line (see EXPERIMENTS.md,
+// "Reliable-call policy ablation"):
+//
+//   {"bench":"ablation_call_policy","loss":...,"calls":...,
+//    "arms":[{"arm":...,"completion":...,"p99_s":...,
+//             "packets_per_call":...,"attempts_per_call":...},...],
+//    "extra_traffic_ratio":...,"completion_gain":...}
+//
+// `--quick` runs only Part 2 with a small call count so the bench_smoke
+// CTest target can prove the harness still builds and runs; `--policy`
+// runs only Part 2 at full size.
+#include <cstring>
+
 #include "bench/bench_util.hpp"
+#include "net/call_policy.hpp"
 #include "net/node.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+#include "sim/sim_transport.hpp"
 
 using namespace ew;
 using namespace ew::bench;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: dynamic time-out discovery vs statics (full scenario).
 
 struct Row {
   std::string label;
@@ -30,7 +56,7 @@ struct Row {
 };
 
 Row run_config(bool adaptive, Duration static_timeout, const std::string& label) {
-  Node::reset_global_stats();
+  process_call_stats().reset();
   app::ScenarioOptions o;
   o.fleet_scale = 0.35;
   o.record = 5 * kHour;
@@ -39,7 +65,7 @@ Row run_config(bool adaptive, Duration static_timeout, const std::string& label)
   o.static_timeout = static_timeout;
   app::Sc98Scenario scenario(o);
   const app::ScenarioResults res = scenario.run();
-  const auto& stats = Node::global_stats();
+  const CallCounters stats = process_call_stats().counters();
   Row row;
   row.label = label;
   row.timeouts = stats.timeouts_fired;
@@ -53,9 +79,7 @@ Row run_config(bool adaptive, Duration static_timeout, const std::string& label)
   return row;
 }
 
-}  // namespace
-
-int main() {
+int run_timeout_ablation() {
   std::printf("=== Ablation: dynamic time-out discovery (Section 2.2) ===\n");
   std::printf("5-hour spike scenario, 0.35 fleet scale, seed 42\n\n");
 
@@ -103,4 +127,164 @@ int main() {
               "program stability'): %s\n",
               ok ? "SUPPORTED" : "NOT SUPPORTED");
   return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: reliable-call policy arms under injected loss (isolated sim).
+
+constexpr MsgType kOp = 0x42;
+
+struct PolicyArm {
+  std::string label;
+  double completion = 0;
+  double p99_s = 0;
+  double packets_per_call = 0;
+  double attempts_per_call = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t retries = 0;
+};
+
+/// One client/server pair over a lossy cross-site link. Every arm gets a
+/// fresh world from the same seed; warm-up is lossless so the forecaster
+/// learns the true RTT distribution before the tap opens.
+PolicyArm run_policy_arm(const std::string& label, const CallOptions& proto,
+                         std::size_t calls, double loss) {
+  sim::EventQueue events;
+  sim::NetworkModel network{Rng(42)};
+  network.set_site("cli", "east");
+  network.set_site("srv", "west");
+  network.set_loss_rate(0.0);
+  sim::SimTransport transport(events, network);
+  Node server(events, transport, Endpoint{"srv", 1});
+  Node client(events, transport, Endpoint{"cli", 1});
+  server.start();
+  client.start();
+  server.handle(kOp, [](const IncomingMessage& m, Responder r) {
+    r.ok(m.packet.payload);
+  });
+
+  AggregateCallStats stats;
+  client.call_policy().set_stats_sink(&stats);
+
+  for (int i = 0; i < 64; ++i) {
+    events.schedule(static_cast<Duration>(i) * (100 * kMillisecond), [&] {
+      client.call(server.self(), kOp, {0}, CallOptions{}, [](Result<Bytes>) {});
+    });
+  }
+  events.run_until_idle();
+
+  network.set_loss_rate(loss);
+  stats.reset();
+  const std::uint64_t packets_before = transport.packets_sent();
+
+  std::vector<double> latency;
+  latency.reserve(calls);
+  std::size_t ok_calls = 0;
+  for (std::size_t i = 0; i < calls; ++i) {
+    events.schedule(static_cast<Duration>(i) * (150 * kMillisecond), [&] {
+      const TimePoint start = events.clock().now();
+      CallOptions o = proto;
+      client.call(server.self(), kOp, {1}, std::move(o),
+                  [&, start](Result<Bytes> r) {
+                    latency.push_back(to_seconds(events.clock().now() - start));
+                    if (r.ok()) ++ok_calls;
+                  });
+    });
+  }
+  events.run_until_idle();
+
+  PolicyArm arm;
+  arm.label = label;
+  arm.completion = static_cast<double>(ok_calls) / static_cast<double>(calls);
+  std::sort(latency.begin(), latency.end());
+  arm.p99_s = latency.empty() ? 0.0 : latency[(latency.size() - 1) * 99 / 100];
+  arm.packets_per_call =
+      static_cast<double>(transport.packets_sent() - packets_before) /
+      static_cast<double>(calls);
+  const CallCounters& c = stats.counters();
+  arm.attempts_per_call =
+      static_cast<double>(c.attempts) / static_cast<double>(calls);
+  arm.hedges = c.hedges;
+  arm.hedge_wins = c.hedge_wins;
+  arm.retries = c.retries;
+  client.call_policy().set_stats_sink(nullptr);
+  client.stop();
+  server.stop();
+  return arm;
+}
+
+int run_policy_ablation(std::size_t calls) {
+  const double loss = 0.10;  // per message: ~0.81 single-attempt completion
+
+  CallOptions off;  // bare Node::call — one attempt, forecast time-out
+  CallOptions retry;
+  retry.retry = RetryPolicy::standard(3);
+  CallOptions hedged;
+  hedged.retry = RetryPolicy::standard(3);
+  hedged.hedge = HedgePolicy::at(0.97);
+
+  const std::vector<std::pair<std::string, const CallOptions*>> specs = {
+      {"no-policy", &off}, {"retry", &retry}, {"retry+hedge", &hedged}};
+  std::vector<PolicyArm> arms;
+  for (const auto& [label, opts] : specs) {
+    arms.push_back(run_policy_arm(label, *opts, calls, loss));
+  }
+
+  const PolicyArm& base = arms[0];
+  double worst_traffic = 0;
+  double best_completion = 0;
+  for (std::size_t i = 1; i < arms.size(); ++i) {
+    worst_traffic = std::max(
+        worst_traffic, arms[i].packets_per_call / base.packets_per_call);
+    best_completion = std::max(best_completion, arms[i].completion);
+  }
+
+  std::printf("{\"bench\":\"ablation_call_policy\",\"loss\":%.3f,"
+              "\"calls\":%zu,\"arms\":[",
+              loss, calls);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const PolicyArm& a = arms[i];
+    std::printf("%s{\"arm\":\"%s\",\"completion\":%.4f,\"p99_s\":%.4f,"
+                "\"packets_per_call\":%.3f,\"attempts_per_call\":%.3f,"
+                "\"retries\":%llu,\"hedges\":%llu,\"hedge_wins\":%llu}",
+                i ? "," : "", a.label.c_str(), a.completion, a.p99_s,
+                a.packets_per_call, a.attempts_per_call,
+                static_cast<unsigned long long>(a.retries),
+                static_cast<unsigned long long>(a.hedges),
+                static_cast<unsigned long long>(a.hedge_wins));
+  }
+  std::printf("],\"extra_traffic_ratio\":%.3f,\"completion_gain\":%.4f}\n",
+              worst_traffic, best_completion - base.completion);
+
+  // Every policy arm must beat the bare arm on completion, at bounded cost.
+  bool ok = true;
+  for (std::size_t i = 1; i < arms.size(); ++i) {
+    if (arms[i].completion <= base.completion) ok = false;
+  }
+  if (worst_traffic > 1.3) ok = false;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "ablation_call_policy: policy arms failed to dominate "
+                 "(completion %.4f base vs %.4f best, traffic %.3fx)\n",
+                 base.completion, best_completion, worst_traffic);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool policy_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--policy") == 0) policy_only = true;
+  }
+  if (quick) return run_policy_ablation(400);
+  if (policy_only) return run_policy_ablation(4000);
+  const int rc_timeouts = run_timeout_ablation();
+  std::printf("\n=== Ablation: reliable-call policy under 10%% loss ===\n");
+  const int rc_policy = run_policy_ablation(4000);
+  return rc_timeouts != 0 ? rc_timeouts : rc_policy;
 }

@@ -12,3 +12,10 @@ execute_process(
 if(NOT rc_packet EQUAL 0)
   message(FATAL_ERROR "micro_packet smoke run failed (exit ${rc_packet})")
 endif()
+
+# Reliable-call policy arms (retry/hedge vs bare call under injected loss).
+# --quick shrinks the call count but still asserts the policy arms dominate.
+execute_process(COMMAND ${ABLATION_TIMEOUTS} --quick RESULT_VARIABLE rc_policy)
+if(NOT rc_policy EQUAL 0)
+  message(FATAL_ERROR "ablation_timeouts --quick failed (exit ${rc_policy})")
+endif()

@@ -103,7 +103,7 @@ int main() {
   Node client(events, transport, Endpoint{"cli", 1});
   client.start();
   for (int i = 0; i < 5; ++i) {
-    client.call(stations[1], kSubmit, Bytes(100, 0), 5 * kSecond,
+    client.call(stations[1], kSubmit, Bytes(100, 0), CallOptions::fixed(5 * kSecond),
                 [](Result<Bytes>) {});
   }
 

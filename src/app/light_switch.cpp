@@ -14,11 +14,15 @@ void LightSwitch::retry(void (LightSwitch::*step)()) {
 }
 
 void LightSwitch::query_mds() {
-  const EventTag tag = EventTag::of(opts_.mds, core::msgtype::kMdsQuery);
-  const TimePoint t0 = node_.executor().now();
-  node_.call(opts_.mds, core::msgtype::kMdsQuery, {}, timeouts_.timeout(tag),
-             [this, tag, t0](Result<Bytes> r) {
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+  // The MDS lookup is a pure read: resend lost queries within the call and
+  // hedge once the RTT tail is known; the app-level retry() loop restarts
+  // the whole sequence only after the call itself has given up.
+  CallOptions q;
+  q.retry = RetryPolicy::standard(2);
+  q.hedge = HedgePolicy::at(0.95);
+  q.trace_tag = "switch.mds";
+  node_.call(opts_.mds, core::msgtype::kMdsQuery, {}, std::move(q),
+             [this](Result<Bytes> r) {
                if (!r.ok()) {
                  retry(&LightSwitch::query_mds);
                  return;
@@ -34,11 +38,10 @@ void LightSwitch::query_mds() {
 }
 
 void LightSwitch::authenticate(const Endpoint& gram) {
-  const EventTag tag = EventTag::of(gram, core::msgtype::kGramAuth);
-  const TimePoint t0 = node_.executor().now();
-  node_.call(gram, core::msgtype::kGramAuth, {}, timeouts_.timeout(tag),
-             [this, gram, tag, t0](Result<Bytes> r) {
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+  CallOptions a;
+  a.trace_tag = "switch.auth";
+  node_.call(gram, core::msgtype::kGramAuth, {}, std::move(a),
+             [this, gram](Result<Bytes> r) {
                if (!r.ok()) {
                  retry(&LightSwitch::query_mds);
                  return;
@@ -50,11 +53,12 @@ void LightSwitch::authenticate(const Endpoint& gram) {
 void LightSwitch::submit(const Endpoint& gram) {
   Writer w;
   w.str(opts_.binary);
-  const EventTag tag = EventTag::of(gram, core::msgtype::kGramSubmit);
-  const TimePoint t0 = node_.executor().now();
-  node_.call(gram, core::msgtype::kGramSubmit, w.take(), timeouts_.timeout(tag),
-             [this, tag, t0](Result<Bytes> r) {
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+  // Submissions start jobs; a blind resend could start two. Single attempt,
+  // with the app loop re-running the whole MDS→auth→submit sequence.
+  CallOptions s;
+  s.trace_tag = "switch.submit";
+  node_.call(gram, core::msgtype::kGramSubmit, w.take(), std::move(s),
+             [this](Result<Bytes> r) {
                if (!r.ok()) {
                  retry(&LightSwitch::query_mds);
                  return;
@@ -64,12 +68,10 @@ void LightSwitch::submit(const Endpoint& gram) {
 }
 
 void LightSwitch::request_netsolve() {
-  const EventTag tag =
-      EventTag::of(opts_.netsolve_agent, core::msgtype::kNetSolveRequest);
-  const TimePoint t0 = node_.executor().now();
+  CallOptions n;
+  n.trace_tag = "switch.netsolve";
   node_.call(opts_.netsolve_agent, core::msgtype::kNetSolveRequest, {},
-             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
+             std::move(n), [this](Result<Bytes> r) {
                if (!r.ok()) {
                  retry(&LightSwitch::request_netsolve);
                  return;

@@ -12,7 +12,6 @@
 #pragma once
 
 #include "core/protocol.hpp"
-#include "forecast/timeout.hpp"
 #include "net/node.hpp"
 
 namespace ew::app {
@@ -43,7 +42,6 @@ class LightSwitch {
 
   Node& node_;
   Options opts_;
-  AdaptiveTimeout timeouts_;
   bool globus_on_ = false;
   bool netsolve_on_ = false;
 };

@@ -7,6 +7,7 @@
 // (retry, re-register, pick another server) handle them explicitly.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -28,6 +29,24 @@ enum class Err {
 
 /// Human-readable label for an error code.
 const char* err_name(Err e);
+
+/// Wire encoding of Err for the 1-byte response status (net/node.hpp).
+/// Responder::fail carries the code to the caller so retry policy can
+/// distinguish retryable transport failures from application rejections;
+/// kOk is not a failure and maps to kInternal rather than faking success.
+inline std::uint8_t err_to_wire(Err e) {
+  if (e == Err::kOk) e = Err::kInternal;
+  return static_cast<std::uint8_t>(e);
+}
+
+/// Decode a wire status byte. Bytes outside the enum (a newer or corrupted
+/// peer) degrade to kInternal instead of minting an unnamed Err value.
+inline Err err_from_wire(std::uint8_t code) {
+  if (code == 0 || code > static_cast<std::uint8_t>(Err::kInternal)) {
+    return Err::kInternal;
+  }
+  return static_cast<Err>(code);
+}
 
 /// Error value: a category plus free-form context.
 struct Error {

@@ -94,12 +94,14 @@ void RamseyClient::register_with(std::size_t index) {
   hello.infra = opts_.infra;
   hello.host = opts_.host_label;
   ++registrations_;
-  const EventTag tag = EventTag::of(target, msgtype::kSchedRegister);
-  const TimePoint t0 = node_.executor().now();
+  // Registration is idempotent at the scheduler, so a lost hello can be
+  // resent inside the call before the slower app-level failover kicks in.
+  CallOptions reg;
+  reg.retry = RetryPolicy::standard(2);
+  reg.trace_tag = "client.register";
   node_.call(target, msgtype::kSchedRegister, hello.serialize(),
-             timeouts_.timeout(tag), [this, tag, t0, index](Result<Bytes> r) {
+             std::move(reg), [this, index](Result<Bytes> r) {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
                if (!r.ok()) {
                  sched_index_ = index + 1;  // fail over
                  work_timer_ = node_.executor().schedule(
@@ -161,17 +163,17 @@ void RamseyClient::finish_quantum() {
 
 void RamseyClient::send_report(ramsey::WorkReport rep) {
   const Endpoint target = opts_.schedulers[sched_index_ % opts_.schedulers.size()];
-  const EventTag tag = EventTag::of(target, msgtype::kSchedReport);
-  const TimePoint t0 = node_.executor().now();
   const std::uint64_t ops = rep.ops_done;
   ReportEnvelope env;
   env.client = node_.self();
   env.report = std::move(rep);
-  node_.call(target, msgtype::kSchedReport, env.serialize(), timeouts_.timeout(tag),
-             [this, tag, t0, ops](Result<Bytes> r) {
+  // Reports advance scheduler-side progress state, so they are NOT resent
+  // blindly; recovery is the app-level re-register/failover below.
+  CallOptions rpt;
+  rpt.trace_tag = "client.report";
+  node_.call(target, msgtype::kSchedReport, env.serialize(), std::move(rpt),
+             [this, ops](Result<Bytes> r) {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0,
-                                   r.ok() || r.code() == Err::kRejected);
                if (!r.ok()) {
                  // Scheduler lost or we are unknown to it: re-register
                  // (rejection keeps the same scheduler; failure fails over).

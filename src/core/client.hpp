@@ -19,7 +19,6 @@
 #include <memory>
 
 #include "core/protocol.hpp"
-#include "forecast/timeout.hpp"
 #include "net/node.hpp"
 #include "ramsey/heuristic.hpp"
 #include "ramsey/workunit.hpp"
@@ -109,7 +108,6 @@ class RamseyClient {
   Node& node_;
   std::unique_ptr<WorkExecutor> executor_;
   Options opts_;
-  AdaptiveTimeout timeouts_;
   Rng rng_;
   bool running_ = false;
   std::size_t sched_index_ = 0;

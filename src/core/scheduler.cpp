@@ -52,26 +52,27 @@ void SchedulerServer::checkpoint_tick() {
   // Version by current time: monotonically fresher across restarts too.
   req.blob = gossip::versioned_blob(
       static_cast<std::uint64_t>(node_.executor().now()), pool_.export_frontier());
-  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateStore);
-  const TimePoint t0 = node_.executor().now();
+  // Checkpoint stores are versioned, so a duplicate arrival is harmless and
+  // a retry is pure upside.
+  CallOptions ckpt;
+  ckpt.retry = RetryPolicy::standard(2);
+  ckpt.trace_tag = "sched.checkpoint";
   node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
-             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
-               if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0,
-                                   r.ok() || r.code() == Err::kRejected);
-             });
+             std::move(ckpt), [](Result<Bytes>) {});
 }
 
 void SchedulerServer::restore_frontier() {
   Writer w;
   w.str(checkpoint_name());
-  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateFetch);
-  const TimePoint t0 = node_.executor().now();
+  // A missed restore silently loses the frontier, so spend retries — and a
+  // hedge once the fetch RTT is known — before giving up on it.
+  CallOptions fetch;
+  fetch.retry = RetryPolicy::standard(3);
+  fetch.hedge = HedgePolicy::at(0.95);
+  fetch.trace_tag = "sched.restore";
   node_.call(opts_.state_manager, msgtype::kStateFetch, w.take(),
-             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+             std::move(fetch), [this](Result<Bytes> r) {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0,
-                                   r.ok() || r.code() == Err::kRejected);
                if (!r.ok()) return;  // no checkpoint yet: fresh start
                auto body = gossip::blob_body(*r);
                if (!body) return;
@@ -175,13 +176,13 @@ void SchedulerServer::store_counterexample(const ramsey::WorkReport& rep) {
   req.name = best_graph_name(opts_.pool.n, opts_.pool.k);
   req.blob = gossip::versioned_blob(~rep.best_energy,
                                     make_best_graph_body(rep.best_graph, rep.found));
-  const EventTag tag = EventTag::of(opts_.state_manager, msgtype::kStateStore);
-  const TimePoint t0 = node_.executor().now();
+  // A counter-example is the whole point of the computation; retry hard.
+  CallOptions store;
+  store.retry = RetryPolicy::standard(3);
+  store.trace_tag = "sched.counterexample";
   node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
-             timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+             std::move(store), [this](Result<Bytes> r) {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0,
-                                   r.ok() || r.code() == Err::kRejected);
                if (r.ok()) ++found_stored_;
              });
 }

@@ -22,7 +22,6 @@
 #include "core/protocol.hpp"
 #include "core/work_pool.hpp"
 #include "forecast/selector.hpp"
-#include "forecast/timeout.hpp"
 #include "net/node.hpp"
 
 namespace ew::core {
@@ -104,7 +103,6 @@ class SchedulerServer {
   Node& node_;
   Options opts_;
   WorkPool pool_;
-  AdaptiveTimeout timeouts_;
   std::unordered_map<Endpoint, ClientInfo, EndpointHash> clients_;
   bool running_ = false;
   std::uint64_t reports_ = 0;

@@ -15,16 +15,17 @@ void ServiceContext::handle(MsgType type, Node::ServerHandler handler) {
 
 void ServiceContext::call(const Endpoint& to, MsgType type, Bytes payload,
                           Node::CallCallback cb) {
-  const EventTag tag = EventTag::of(to, type);
-  const TimePoint t0 = fw_.exec_.now();
+  call(to, type, std::move(payload), CallOptions{}, std::move(cb));
+}
+
+void ServiceContext::call(const Endpoint& to, MsgType type, Bytes payload,
+                          CallOptions opts, Node::CallCallback cb) {
+  // Time-out discovery and round-trip feedback now live inside Node's call
+  // policy; the framework only gates the callback on its own liveness.
   auto* fw = &fw_;
-  fw_.node_.call(to, type, std::move(payload), fw_.timeouts_.timeout(tag),
-                 [fw, tag, t0, cb = std::move(cb)](Result<Bytes> r) {
-                   if (fw->running_) {
-                     fw->timeouts_.on_result(
-                         tag, fw->exec_.now() - t0,
-                         r.ok() || r.code() == Err::kRejected);
-                   }
+  fw_.node_.call(to, type, std::move(payload), std::move(opts),
+                 [fw, cb = std::move(cb)](Result<Bytes> r) {
+                   if (!fw->running_) return;
                    if (cb) cb(std::move(r));
                  });
 }

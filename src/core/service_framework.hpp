@@ -45,6 +45,10 @@ class ServiceContext {
   void call(const Endpoint& to, MsgType type, Bytes payload,
             Node::CallCallback cb);
 
+  /// Same, with explicit reliability knobs (retry/hedge/deadline).
+  void call(const Endpoint& to, MsgType type, Bytes payload, CallOptions opts,
+            Node::CallCallback cb);
+
   /// Periodic tick; automatically cancelled when the framework stops.
   void every(Duration period, std::function<void()> fn);
 
@@ -94,7 +98,9 @@ class ServiceFramework {
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] Node& node() { return node_; }
-  [[nodiscard]] AdaptiveTimeout& timeouts() { return timeouts_; }
+  [[nodiscard]] AdaptiveTimeout& timeouts() {
+    return node_.call_policy().timeouts();
+  }
   [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
 
  private:
@@ -103,7 +109,6 @@ class ServiceFramework {
 
   Executor& exec_;
   Node node_;
-  AdaptiveTimeout timeouts_;
   std::unique_ptr<gossip::SyncClient> sync_;
   std::vector<std::unique_ptr<ServiceModule>> modules_;
   struct Tick {

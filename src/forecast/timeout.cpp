@@ -29,6 +29,12 @@ Duration AdaptiveTimeout::timeout(const EventTag& tag) const {
   return std::clamp(static_cast<Duration>(raw), opts_.floor, opts_.ceiling);
 }
 
+Duration AdaptiveTimeout::observed_quantile(const EventTag& tag, double q) const {
+  auto it = tails_.find(tag);
+  if (it == tails_.end() || it->second.empty()) return 0;
+  return static_cast<Duration>(it->second.quantile(q));
+}
+
 void AdaptiveTimeout::on_result(const EventTag& tag, Duration rtt, bool ok) {
   if (ok) {
     bank_.record(tag, static_cast<double>(rtt));

@@ -67,6 +67,12 @@ class AdaptiveTimeout final : public TimeoutPolicy {
   [[nodiscard]] const EventForecasterBank& bank() const { return bank_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
+  /// Observed RTT quantile for the tag's trailing window, or 0 when the tag
+  /// has no successful samples yet. This is the hedging trigger: once a
+  /// request outlives the q-quantile of past responses it is probably lost,
+  /// and a second attempt is cheaper than waiting out the full time-out.
+  [[nodiscard]] Duration observed_quantile(const EventTag& tag, double q) const;
+
   /// Experiment-wide switch for bench/ablation_timeouts: while set, every
   /// AdaptiveTimeout in the process answers with this fixed value instead of
   /// forecasting — turning the whole toolkit into the paper's rejected

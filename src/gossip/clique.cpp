@@ -6,22 +6,9 @@
 
 namespace ew::gossip {
 
-namespace {
-AdaptiveTimeout::Options hop_timeout_options(Duration initial) {
-  AdaptiveTimeout::Options o;
-  o.initial = initial;
-  o.floor = 50 * kMillisecond;
-  o.ceiling = 30 * kSecond;
-  return o;
-}
-}  // namespace
-
 CliqueMember::CliqueMember(Node& node, std::vector<Endpoint> well_known,
                            Options opts)
-    : node_(node),
-      well_known_(std::move(well_known)),
-      opts_(opts),
-      timeouts_(hop_timeout_options(opts.hop_timeout)) {}
+    : node_(node), well_known_(std::move(well_known)), opts_(opts) {}
 
 void CliqueMember::start() {
   if (running_) return;
@@ -165,8 +152,16 @@ Endpoint CliqueMember::next_after(const Endpoint& e,
   return {};
 }
 
-Duration CliqueMember::hop_timeout(const Endpoint& to) const {
-  return timeouts_.timeout(EventTag::of(to, msgtype::kToken));
+CallOptions CliqueMember::hop_options() const {
+  // Clique hops need tighter bounds than the node-wide defaults: an unknown
+  // peer is probed after opts_.hop_timeout (not the node's multi-second
+  // initial), and a hop never waits past 30s however noisy the forecast.
+  // Hops are single-attempt on purpose — a duplicated token would run two
+  // rounds at once; failure handling is the suspects list, not a resend.
+  CallOptions o;
+  o.initial_timeout = opts_.hop_timeout;
+  o.max_attempt_timeout = 30 * kSecond;
+  return o;
 }
 
 void CliqueMember::forward_token(Token token) {
@@ -181,24 +176,16 @@ void CliqueMember::forward_token(Token token) {
       return;
     }
     const Endpoint leader = token.view.leader;
-    const EventTag tag = EventTag::of(leader, msgtype::kToken);
-    const TimePoint t0 = node_.executor().now();
-    node_.call(leader, msgtype::kToken, token.serialize(), hop_timeout(leader),
-               [this, tag, t0](Result<Bytes> r) {
-                 if (!running_) return;
-                 timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
-               });
+    node_.call(leader, msgtype::kToken, token.serialize(), hop_options(),
+               [](Result<Bytes>) {});
     return;
   }
-  const EventTag tag = EventTag::of(next, msgtype::kToken);
-  const TimePoint t0 = node_.executor().now();
   // Serialize BEFORE the call expression: the continuation captures `token`
   // by move, and argument evaluation order is unspecified.
   Bytes wire = token.serialize();
-  node_.call(next, msgtype::kToken, std::move(wire), hop_timeout(next),
-             [this, token = std::move(token), next, tag, t0](Result<Bytes> r) mutable {
+  node_.call(next, msgtype::kToken, std::move(wire), hop_options(),
+             [this, token = std::move(token), next](Result<Bytes> r) mutable {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
                if (r.ok()) return;  // the next holder carries on
                EW_DEBUG << node_.self().to_string() << ": token hop to "
                         << next.to_string() << " failed: " << r.error().to_string();
@@ -307,7 +294,7 @@ void CliqueMember::on_merge(const IncomingMessage& msg, const Responder& resp) {
   if (!is_leader()) {
     // Relay to our leader.
     node_.call(view_.leader, msgtype::kMerge, foreign->serialize(),
-               hop_timeout(view_.leader), [](Result<Bytes>) {});
+               hop_options(), [](Result<Bytes>) {});
     return;
   }
   if (node_.self() < foreign->leader) {
@@ -342,7 +329,7 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
     // may initiate; the foreign leader dedups.
     merging_ = true;
     const Endpoint target = foreign.leader;
-    node_.call(target, msgtype::kMerge, view_.serialize(), hop_timeout(target),
+    node_.call(target, msgtype::kMerge, view_.serialize(), hop_options(),
                [this](Result<Bytes> r) {
                  if (!running_) return;
                  merging_ = false;
@@ -365,7 +352,7 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
       }
     } else {
       node_.call(view_.leader, msgtype::kMerge, foreign.serialize(),
-                 hop_timeout(view_.leader), [](Result<Bytes>) {});
+                 hop_options(), [](Result<Bytes>) {});
     }
   }
 }
@@ -384,12 +371,13 @@ void CliqueMember::probe_tick() {
   }
   if (targets.empty()) return;
   const Endpoint target = targets[probe_index_++ % targets.size()];
-  const EventTag tag = EventTag::of(target, msgtype::kProbe);
-  const TimePoint t0 = node_.executor().now();
-  node_.call(target, msgtype::kProbe, view_.serialize(), hop_timeout(target),
-             [this, tag, t0](Result<Bytes> r) {
+  // View exchange is idempotent (merge of sorted member sets), so probes
+  // may retry within the hop bounds.
+  CallOptions probe = hop_options();
+  probe.retry = RetryPolicy::standard(2);
+  node_.call(target, msgtype::kProbe, view_.serialize(), std::move(probe),
+             [this](Result<Bytes> r) {
                if (!running_) return;
-               timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
                if (!r.ok()) return;
                auto v = View::deserialize(*r);
                if (v) consider_foreign_view(*v);

@@ -23,7 +23,6 @@
 #include <set>
 #include <vector>
 
-#include "forecast/timeout.hpp"
 #include "gossip/protocol.hpp"
 #include "net/node.hpp"
 
@@ -80,13 +79,12 @@ class CliqueMember {
   [[nodiscard]] Endpoint next_after(const Endpoint& e,
                                     const std::vector<Endpoint>& members,
                                     const std::set<Endpoint>& skip) const;
-  [[nodiscard]] Duration hop_timeout(const Endpoint& to) const;
+  [[nodiscard]] CallOptions hop_options() const;
   [[nodiscard]] Duration token_loss_timeout() const;
 
   Node& node_;
   std::vector<Endpoint> well_known_;
   Options opts_;
-  AdaptiveTimeout timeouts_;
   View view_;
   std::uint64_t round_ = 0;
   std::vector<Endpoint> pending_joins_;

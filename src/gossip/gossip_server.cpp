@@ -16,6 +16,11 @@ GossipServer::GossipServer(Node& node, const ComparatorRegistry& comparators,
 void GossipServer::start() {
   if (running_) return;
   running_ = true;
+  // A Gossip fans out to every registered component each poll period; a
+  // dead component would otherwise cost a full time-out per type per tick.
+  // The breaker sheds those polls fast and probes for recovery, and a shed
+  // poll counts as a miss below just like a timed-out one.
+  node_.call_policy().set_breaker_enabled(true);
   node_.handle(msgtype::kRegister, [this](const IncomingMessage& m, Responder r) {
     on_register(m, r);
   });
@@ -133,17 +138,21 @@ void GossipServer::poll_component(const Endpoint& component, MsgType type) {
   Writer w;
   w.u16(type);
   ++polls_sent_;
-  const EventTag tag = EventTag::of(component, msgtype::kGetState);
-  const TimePoint t0 = node_.executor().now();
+  // State polls are read-only: retry freely, and hedge once the tag has RTT
+  // history so one slow component doesn't stall the whole poll round.
+  CallOptions poll;
+  poll.retry = RetryPolicy::standard(2);
+  poll.hedge = HedgePolicy::at(0.95);
+  poll.trace_tag = "gossip.poll";
   node_.call(
-      component, msgtype::kGetState, w.take(), timeouts_.timeout(tag),
-      [this, component, type, tag, t0](Result<Bytes> r) {
+      component, msgtype::kGetState, w.take(), std::move(poll),
+      [this, component, type](Result<Bytes> r) {
         if (!running_) return;
-        timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
         auto it = registry_.find(component);
         if (!r.ok()) {
-          if (r.code() == Err::kTimeout || r.code() == Err::kRefused ||
-              r.code() == Err::kClosed) {
+          // Transport-level failure (including a breaker shed): the
+          // component may be gone. Application rejections don't count.
+          if (err_retryable(r.code())) {
             if (it != registry_.end()) ++it->second.misses;
           }
           return;
@@ -162,14 +171,13 @@ void GossipServer::poll_component(const Endpoint& component, MsgType type) {
           Writer upd;
           write_state_blob(upd, *fresh);
           ++updates_pushed_;
-          const EventTag utag = EventTag::of(component, msgtype::kStateUpdate);
-          const TimePoint u0 = node_.executor().now();
+          // Updates carry versioned blobs, so duplicates are no-ops at the
+          // receiver and a retry is safe.
+          CallOptions push;
+          push.retry = RetryPolicy::standard(2);
+          push.trace_tag = "gossip.push";
           node_.call(component, msgtype::kStateUpdate, upd.take(),
-                     timeouts_.timeout(utag), [this, utag, u0](Result<Bytes> ur) {
-                       if (!running_) return;
-                       timeouts_.on_result(utag, node_.executor().now() - u0,
-                                           ur.ok());
-                     });
+                     std::move(push), [](Result<Bytes>) {});
         }
       });
 }
@@ -183,12 +191,14 @@ void GossipServer::peer_sync_tick() {
   }
   if (!peers.empty()) {
     const Endpoint peer = peers[peer_index_++ % peers.size()];
-    const EventTag tag = EventTag::of(peer, msgtype::kDigest);
-    const TimePoint t0 = node_.executor().now();
+    // Digest exchange is an idempotent anti-entropy merge; the next tick
+    // rotates to another peer anyway, so two attempts suffice.
+    CallOptions digest;
+    digest.retry = RetryPolicy::standard(2);
+    digest.trace_tag = "gossip.digest";
     node_.call(peer, msgtype::kDigest, make_digest().serialize(),
-               timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+               std::move(digest), [this](Result<Bytes> r) {
                  if (!running_) return;
-                 timeouts_.on_result(tag, node_.executor().now() - t0, r.ok());
                  if (!r.ok()) return;
                  auto digest = Digest::deserialize(*r);
                  if (!digest) return;

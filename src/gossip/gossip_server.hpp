@@ -12,7 +12,6 @@
 #include <unordered_map>
 
 #include "common/hash.hpp"
-#include "forecast/timeout.hpp"
 #include "gossip/clique.hpp"
 #include "gossip/state.hpp"
 #include "net/node.hpp"
@@ -72,7 +71,6 @@ class GossipServer {
   Node& node_;
   std::vector<Endpoint> well_known_;
   Options opts_;
-  AdaptiveTimeout timeouts_;
   CliqueMember clique_;
   StateStore store_;
   std::unordered_map<Endpoint, Entry, EndpointHash> registry_;

@@ -39,7 +39,12 @@ void SyncClient::register_with(std::size_t index) {
   Registration reg;
   reg.component = node_.self();
   for (const auto& [type, h] : handlers_) reg.types.push_back(type);
-  node_.call(target, msgtype::kRegister, reg.serialize(), opts_.call_timeout,
+  // Registration renewals are idempotent; retry within the call before the
+  // slower next-gossip failover below.
+  CallOptions opts = CallOptions::fixed(opts_.call_timeout);
+  opts.retry = RetryPolicy::standard(2);
+  opts.trace_tag = "sync.register";
+  node_.call(target, msgtype::kRegister, reg.serialize(), std::move(opts),
              [this, target, index](Result<Bytes> r) {
                if (!running_) return;
                if (r.ok()) {

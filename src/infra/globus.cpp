@@ -101,12 +101,14 @@ void GlobusAdapter::stage_and_launch(std::size_t i) {
   // ("using the gatekeeper as a grappling hook").
   Writer w;
   w.str("ramsey-client");
-  const EventTag tag = EventTag::of(gass_->self(), core::msgtype::kGassFetch);
-  const TimePoint t0 = events_.now();
+  // A GASS fetch is a read of an immutable binary image: retry freely
+  // before falling back to the 30s re-stage below.
+  CallOptions fetch;
+  fetch.retry = RetryPolicy::standard(2);
+  fetch.trace_tag = "globus.gass";
   gram_->call(gass_->self(), core::msgtype::kGassFetch, w.take(),
-              timeouts_.timeout(tag), [this, tag, t0](Result<Bytes> r) {
+              std::move(fetch), [this](Result<Bytes> r) {
                 if (!running_) return;
-                timeouts_.on_result(tag, events_.now() - t0, r.ok());
                 staging_in_flight_ = false;
                 const std::vector<std::size_t> waiting = std::move(awaiting_stage_);
                 awaiting_stage_.clear();

@@ -19,7 +19,6 @@
 #include <optional>
 
 #include "core/protocol.hpp"
-#include "forecast/timeout.hpp"
 #include "infra/profiles.hpp"
 #include "net/node.hpp"
 
@@ -70,7 +69,6 @@ class GlobusAdapter final : public InfraAdapter {
   std::optional<Node> mds_;
   std::optional<Node> gram_;
   std::optional<Node> gass_;
-  AdaptiveTimeout timeouts_;
   bool switched_on_ = false;
   bool binary_cached_ = false;
   bool staging_in_flight_ = false;

@@ -24,13 +24,14 @@ void TranslatorServer::relay(MsgType type, const Bytes& payload, Responder resp,
     return;
   }
   const Endpoint target = targets[target_index % targets.size()];
-  const EventTag tag = EventTag::of(target, type);
-  const TimePoint t0 = node_.executor().now();
-  node_.call(target, type, payload, timeouts_.timeout(tag),
-             [this, type, payload, resp, target_index, attempts, tag,
-              t0](Result<Bytes> r) {
-               timeouts_.on_result(tag, node_.executor().now() - t0,
-                                   r.ok() || r.code() == Err::kRejected);
+  // The translator's resilience is its own target failover (next arm of
+  // this function), so each relayed call stays single-attempt: the relayed
+  // request may not be idempotent at the destination.
+  CallOptions relay_opts;
+  relay_opts.trace_tag = "legion.relay";
+  node_.call(target, type, payload, std::move(relay_opts),
+             [this, type, payload, resp, target_index,
+              attempts](Result<Bytes> r) {
                if (r.ok()) {
                  ++translated_;
                  resp.ok(*r);

@@ -15,7 +15,6 @@
 
 #include <unordered_map>
 
-#include "forecast/timeout.hpp"
 #include "infra/profiles.hpp"
 #include "net/node.hpp"
 
@@ -41,7 +40,6 @@ class TranslatorServer {
 
   Node& node_;
   Options opts_;
-  AdaptiveTimeout timeouts_;
   std::unordered_map<MsgType, std::vector<Endpoint>> routes_;
   std::uint64_t translated_ = 0;
 };

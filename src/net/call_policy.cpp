@@ -1,0 +1,141 @@
+#include "net/call_policy.hpp"
+
+#include <algorithm>
+
+namespace ew {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and deterministic — simulator
+// runs replay bit-exactly while concurrent callers still decorrelate.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Duration RetryPolicy::backoff(std::uint32_t prior_attempts,
+                              std::uint64_t seed) const {
+  // prior_attempts >= 1 when we are pricing a retry; exponent 0 for the
+  // first retry keeps base_backoff the fastest resend.
+  const std::uint32_t exponent = prior_attempts > 0 ? prior_attempts - 1 : 0;
+  double backoff = static_cast<double>(base_backoff);
+  for (std::uint32_t i = 0; i < exponent; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= static_cast<double>(max_backoff)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(max_backoff));
+  if (jitter > 0) {
+    const std::uint64_t h = mix64(seed * 0x100000001b3ULL + prior_attempts);
+    // Unit sample in [0,1) from the top 53 bits.
+    const double unit =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    // Spread over [1 - jitter, 1]: jitter only shortens the wait, so the
+    // un-jittered value remains the worst case for deadline budgeting.
+    backoff *= 1.0 - jitter * unit;
+  }
+  return std::max<Duration>(static_cast<Duration>(backoff), 1);
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  roll(now);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ < opts_.half_open_probes) {
+        ++probes_in_flight_;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_result(TimePoint now, bool ok) {
+  roll(now);
+  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+  if (ok) {
+    consecutive_failures_ = 0;
+    // One successful probe is proof enough: the paper's servers flap with
+    // ambient load, so a long confirmation window would just delay reuse.
+    if (state_ == State::kHalfOpen) state_ = State::kClosed;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= opts_.failure_threshold) {
+    trip(now);
+  }
+}
+
+void CircuitBreaker::roll(TimePoint now) {
+  if (state_ == State::kOpen && now >= open_until_) {
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::trip(TimePoint now) {
+  state_ = State::kOpen;
+  open_until_ = now + opts_.open_for;
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  ++times_opened_;
+}
+
+CircuitBreaker& CircuitBreakerBank::at(const Endpoint& to) {
+  return by_dest_.try_emplace(to.to_string(), opts_).first->second;
+}
+
+AggregateCallStats& process_call_stats() {
+  static AggregateCallStats stats;
+  return stats;
+}
+
+CallStatsSink& CallPolicy::stats() const {
+  return sink_ != nullptr ? *sink_ : process_call_stats();
+}
+
+Duration CallPolicy::attempt_timeout(const EventTag& tag,
+                                     const CallOptions& opts) const {
+  // An explicit global override (ablation arms) beats even fixed per-call
+  // values, mirroring the old components' uniform use of AdaptiveTimeout.
+  const Duration global = AdaptiveTimeout::global_static_override();
+  if (global > 0) return global;
+  if (opts.attempt_timeout > 0) return opts.attempt_timeout;
+  Duration t = timeouts_.timeout(tag);
+  if (opts.initial_timeout > 0 && !timeouts_.bank().knows(tag)) {
+    t = opts.initial_timeout;
+  }
+  if (opts.max_attempt_timeout > 0) t = std::min(t, opts.max_attempt_timeout);
+  return t;
+}
+
+Duration CallPolicy::hedge_delay(const EventTag& tag,
+                                 const HedgePolicy& hedge) const {
+  if (!hedge.enabled) return 0;
+  const Duration q = timeouts_.observed_quantile(tag, hedge.tail_quantile);
+  if (q <= 0) return 0;  // no history: the forecast has nothing to say
+  return std::max(q, hedge.min_delay);
+}
+
+bool CallPolicy::admit(const Endpoint& to, TimePoint now) {
+  if (!opts_.breaker_enabled) return true;
+  return breakers_.at(to).allow(now);
+}
+
+void CallPolicy::on_attempt_result(const EventTag& tag, const Endpoint& to,
+                                   TimePoint now, Duration rtt, bool ok) {
+  timeouts_.on_result(tag, rtt, ok);
+  if (opts_.breaker_enabled) breakers_.at(to).on_result(now, ok);
+}
+
+}  // namespace ew

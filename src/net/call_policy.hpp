@@ -1,0 +1,321 @@
+// Reliable call layer: policy between Node::call and the forecasting stack.
+//
+// The paper's dynamic time-out discovery (Section 2.2) tells a caller how
+// long to wait — this layer decides what to do when the wait runs out. It
+// turns the forecast stream into three actuated policies:
+//
+//   * retries — exponential backoff with deterministic jitter, budgeted
+//     against an overall per-call deadline, taken only on retryable
+//     transport failures (a server that *answered* with a rejection is not
+//     retried unless the caller opts in);
+//   * hedging — when the first attempt outlives the observed RTT tail
+//     quantile for its (server, message type) event tag, it is probably
+//     lost, and one duplicate attempt is fired; the loser is cancelled and
+//     wins/losses are counted;
+//   * circuit breaking — per-destination failure counting fed by the same
+//     timeout/error stream the forecaster sees; a tripped breaker sheds
+//     calls immediately (kUnavailable) and probes half-open for recovery.
+//
+// CallPolicy bundles the three with the AdaptiveTimeout that prices each
+// attempt, plus an injectable CallStatsSink replacing the old process-wide
+// Node::GlobalStats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "forecast/timeout.hpp"
+#include "net/endpoint.hpp"
+
+namespace ew {
+
+/// True for failures where the request may never have reached (or returned
+/// from) the server, so a resend is safe-by-idempotence-assumption and
+/// useful. Application-level verdicts (kRejected, kProtocol, kInternal)
+/// travelled a working round trip; resending the same bytes would only
+/// repeat the answer.
+[[nodiscard]] inline bool err_retryable(Err e) {
+  switch (e) {
+    case Err::kTimeout:
+    case Err::kClosed:
+    case Err::kRefused:
+    case Err::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Retry schedule for one call. Defaults to a single attempt — the caller
+/// must opt in to resends, because Node cannot know which requests are
+/// idempotent.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 1;       // total attempts, including the first
+  Duration base_backoff = 100 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = 5 * kSecond;
+  double jitter = 0.5;                  // fraction of the backoff randomised
+  /// Also retry application-level rejections (servers that answered with a
+  /// failure status). Off by default: see err_retryable.
+  bool retry_rejected = false;
+
+  /// Backoff before attempt `prior_attempts + 1`. Jitter is deterministic,
+  /// hashed from `seed` (the call id) and the attempt index, so simulator
+  /// runs replay exactly while concurrent callers still decorrelate.
+  [[nodiscard]] Duration backoff(std::uint32_t prior_attempts,
+                                 std::uint64_t seed) const;
+
+  static RetryPolicy standard(std::uint32_t attempts = 3) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+};
+
+/// Hedged-request policy for one call. Off by default; when enabled, at most
+/// one duplicate attempt is fired once the first outlives the observed
+/// `tail_quantile` of past RTTs for its event tag. With no RTT history the
+/// forecast has nothing to say and no hedge fires.
+struct HedgePolicy {
+  bool enabled = false;
+  double tail_quantile = 0.95;
+  /// Floor under the forecast delay so a noisy, microsecond-level tail
+  /// cannot make every call a double call.
+  Duration min_delay = 10 * kMillisecond;
+
+  static HedgePolicy at(double quantile) {
+    HedgePolicy h;
+    h.enabled = true;
+    h.tail_quantile = quantile;
+    return h;
+  }
+};
+
+/// Per-call knobs for Node::call. Default-constructed options reproduce the
+/// old single-attempt behaviour with a forecast-driven time-out.
+struct CallOptions {
+  /// Overall budget across all attempts and backoffs; 0 = no deadline
+  /// (each attempt still has its own time-out).
+  Duration deadline = 0;
+  /// Fixed per-attempt time-out; 0 = dynamic discovery via AdaptiveTimeout.
+  Duration attempt_timeout = 0;
+  /// With dynamic discovery: time-out to use before the tag has any
+  /// samples (0 = the policy-wide AdaptiveTimeout initial).
+  Duration initial_timeout = 0;
+  /// With dynamic discovery: cap on the discovered time-out (0 = the
+  /// policy-wide ceiling).
+  Duration max_attempt_timeout = 0;
+  RetryPolicy retry{};
+  HedgePolicy hedge{};
+  /// Optional label carried into failure logs.
+  std::string trace_tag{};
+
+  /// The old positional-Duration call, spelled out: one attempt with a
+  /// fixed time-out.
+  static CallOptions fixed(Duration attempt_timeout) {
+    CallOptions o;
+    o.attempt_timeout = attempt_timeout;
+    return o;
+  }
+};
+
+/// Observer for everything the call layer does. Replaces the process-wide
+/// Node::GlobalStats static: a Node reports to whichever sink its CallPolicy
+/// holds, and the default sink is the process-wide aggregate so existing
+/// benches keep their counters.
+class CallStatsSink {
+ public:
+  virtual ~CallStatsSink() = default;
+  virtual void record_call_start() {}
+  /// ok=false covers timeouts, transport failures, rejections, shed calls.
+  virtual void record_call_end(bool /*ok*/, Duration /*latency*/) {}
+  /// One network attempt issued. `retry` marks attempts after the first;
+  /// `hedge` marks forecast-triggered duplicates.
+  virtual void record_attempt(bool /*retry*/, bool /*hedge*/) {}
+  /// An attempt timer fired after waiting `timeout`.
+  virtual void record_timeout(Duration /*timeout*/) {}
+  /// A response arrived for an attempt that had already timed out. `rescued`
+  /// means the call was still live and the response completed it.
+  virtual void record_late_response(bool /*rescued*/) {}
+  /// A response for an attempt cancelled by retry/hedge completion arrived
+  /// after its call finished; it was dropped, not delivered twice.
+  virtual void record_duplicate_response() {}
+  /// A hedged call completed; `hedge_won` tells whether the duplicate beat
+  /// the original.
+  virtual void record_hedge_result(bool /*hedge_won*/) {}
+  /// A call was shed without a network attempt because the destination's
+  /// circuit breaker was open.
+  virtual void record_short_circuit() {}
+};
+
+/// Aggregate counters, kept deliberately close to the old GlobalStats so
+/// bench/ablation_timeouts and the scenario stability metrics carry over.
+struct CallCounters {
+  std::uint64_t calls_started = 0;
+  std::uint64_t calls_ok = 0;
+  std::uint64_t calls_failed = 0;
+  std::uint64_t attempts = 0;           // every packet that left the node
+  std::uint64_t retries = 0;            // attempts after the first
+  std::uint64_t hedges = 0;             // forecast-triggered duplicates
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedge_losses = 0;
+  std::uint64_t timeouts_fired = 0;     // attempt timers that fired
+  std::uint64_t late_responses = 0;     // responses after their timer fired
+  std::uint64_t late_rescues = 0;       // ...that still completed the call
+  std::uint64_t duplicate_responses = 0;
+  std::uint64_t short_circuits = 0;     // calls shed by an open breaker
+  std::uint64_t timeout_wait_us = 0;    // total time spent in fired timers
+  std::uint64_t call_latency_us = 0;    // summed over completed calls
+};
+
+/// Default sink: sums everything into a CallCounters.
+class AggregateCallStats final : public CallStatsSink {
+ public:
+  void record_call_start() override { ++c_.calls_started; }
+  void record_call_end(bool ok, Duration latency) override {
+    ++(ok ? c_.calls_ok : c_.calls_failed);
+    c_.call_latency_us += static_cast<std::uint64_t>(latency);
+  }
+  void record_attempt(bool retry, bool hedge) override {
+    ++c_.attempts;
+    if (retry) ++c_.retries;
+    if (hedge) ++c_.hedges;
+  }
+  void record_timeout(Duration timeout) override {
+    ++c_.timeouts_fired;
+    c_.timeout_wait_us += static_cast<std::uint64_t>(timeout);
+  }
+  void record_late_response(bool rescued) override {
+    ++c_.late_responses;
+    if (rescued) ++c_.late_rescues;
+  }
+  void record_duplicate_response() override { ++c_.duplicate_responses; }
+  void record_hedge_result(bool hedge_won) override {
+    ++(hedge_won ? c_.hedge_wins : c_.hedge_losses);
+  }
+  void record_short_circuit() override { ++c_.short_circuits; }
+
+  [[nodiscard]] const CallCounters& counters() const { return c_; }
+  void reset() { c_ = CallCounters{}; }
+
+ private:
+  CallCounters c_;
+};
+
+/// The process-wide default sink every CallPolicy starts with. Scenario
+/// benches read and reset it between experiment arms, exactly like the old
+/// Node::reset_global_stats(). Not thread-safe by design (single-threaded
+/// simulator; threaded deployments inject per-node sinks).
+AggregateCallStats& process_call_stats();
+
+/// Per-destination failure gate with the classic three states. Counts
+/// consecutive transport failures; at the threshold it opens and sheds
+/// every call for `open_for`, then lets a limited number of half-open
+/// probes through — one success closes it, one failure re-opens it.
+class CircuitBreaker {
+ public:
+  struct Options {
+    std::uint32_t failure_threshold = 5;   // consecutive failures to trip
+    Duration open_for = 10 * kSecond;      // shed window before probing
+    std::uint32_t half_open_probes = 1;    // concurrent probes allowed
+  };
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(const Options& opts) : opts_(opts) {}
+
+  [[nodiscard]] State state(TimePoint now) {
+    roll(now);
+    return state_;
+  }
+
+  /// May an attempt go out now? Half-open admissions are counted as probes.
+  [[nodiscard]] bool allow(TimePoint now);
+
+  /// Transport outcome of an attempt to this destination. Any response —
+  /// even an application rejection — proves the host alive.
+  void on_result(TimePoint now, bool ok);
+
+  [[nodiscard]] std::uint64_t times_opened() const { return times_opened_; }
+
+ private:
+  void roll(TimePoint now);
+  void trip(TimePoint now);
+
+  Options opts_;
+  State state_ = State::kClosed;
+  TimePoint open_until_ = 0;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t probes_in_flight_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+/// One breaker per destination endpoint, created on first use.
+class CircuitBreakerBank {
+ public:
+  explicit CircuitBreakerBank(CircuitBreaker::Options opts = {})
+      : opts_(opts) {}
+
+  CircuitBreaker& at(const Endpoint& to);
+  [[nodiscard]] std::size_t size() const { return by_dest_.size(); }
+
+ private:
+  CircuitBreaker::Options opts_;
+  std::unordered_map<std::string, CircuitBreaker> by_dest_;
+};
+
+/// Everything a Node consults before, during and after a call: the adaptive
+/// time-out (one bank per node, as each node observes its own servers), the
+/// breaker bank, and the stats sink.
+class CallPolicy {
+ public:
+  struct Options {
+    AdaptiveTimeout::Options timeout{};
+    CircuitBreaker::Options breaker{};
+    /// Breakers ship disabled: shedding changes failure semantics (callers
+    /// see kUnavailable without a network attempt) and components opt in.
+    bool breaker_enabled = false;
+  };
+
+  CallPolicy() : CallPolicy(Options{}) {}
+  explicit CallPolicy(const Options& opts)
+      : opts_(opts), timeouts_(opts.timeout), breakers_(opts.breaker) {}
+
+  [[nodiscard]] AdaptiveTimeout& timeouts() { return timeouts_; }
+  [[nodiscard]] const AdaptiveTimeout& timeouts() const { return timeouts_; }
+  [[nodiscard]] CircuitBreakerBank& breakers() { return breakers_; }
+
+  void set_breaker_enabled(bool on) { opts_.breaker_enabled = on; }
+  [[nodiscard]] bool breaker_enabled() const { return opts_.breaker_enabled; }
+
+  /// Route stats to `sink`; nullptr restores the process-wide aggregate.
+  void set_stats_sink(CallStatsSink* sink) { sink_ = sink; }
+  [[nodiscard]] CallStatsSink& stats() const;
+
+  /// Time-out for the next attempt of a call with these options.
+  [[nodiscard]] Duration attempt_timeout(const EventTag& tag,
+                                         const CallOptions& opts) const;
+
+  /// Delay after which a hedge should fire, or 0 for "don't hedge" (policy
+  /// disabled, or no RTT history to forecast from).
+  [[nodiscard]] Duration hedge_delay(const EventTag& tag,
+                                     const HedgePolicy& hedge) const;
+
+  /// Breaker gate; true when the attempt may proceed.
+  [[nodiscard]] bool admit(const Endpoint& to, TimePoint now);
+
+  /// Feed an attempt's transport outcome to the forecaster and breaker.
+  void on_attempt_result(const EventTag& tag, const Endpoint& to,
+                         TimePoint now, Duration rtt, bool ok);
+
+ private:
+  Options opts_;
+  AdaptiveTimeout timeouts_;
+  CircuitBreakerBank breakers_;
+  CallStatsSink* sink_ = nullptr;  // nullptr = process_call_stats()
+};
+
+}  // namespace ew

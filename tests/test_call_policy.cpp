@@ -1,0 +1,379 @@
+// Tests for the reliable call layer: retry/hedge/breaker policies behind
+// Node::call, wire Err round-trips, and the single-delivery guarantee.
+#include <gtest/gtest.h>
+
+#include "net/call_policy.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/node.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ew {
+namespace {
+
+constexpr MsgType kEcho = 0x10;
+constexpr MsgType kRejecting = 0x11;
+constexpr MsgType kSilent = 0x12;
+constexpr MsgType kShedding = 0x13;
+constexpr MsgType kFlaky = 0x14;
+
+class CallPolicyTest : public ::testing::Test {
+ protected:
+  CallPolicyTest()
+      : transport(events),
+        server(events, transport, Endpoint{"server", 1}),
+        client(events, transport, Endpoint{"client", 1}) {
+    EXPECT_TRUE(server.start().ok());
+    EXPECT_TRUE(client.start().ok());
+    server.handle(kEcho, [](const IncomingMessage& m, Responder r) {
+      r.ok(m.packet.payload);
+    });
+    server.handle(kRejecting, [](const IncomingMessage&, Responder r) {
+      r.fail(Err::kRejected, "not today");
+    });
+    server.handle(kSilent, [](const IncomingMessage&, Responder) {});
+    server.handle(kShedding, [](const IncomingMessage&, Responder r) {
+      r.fail(Err::kUnavailable, "shedding load");
+    });
+    // Isolate every test's counters from the process-wide aggregate.
+    client.call_policy().set_stats_sink(&sink);
+  }
+
+  /// Drop the first `n` requests headed for the server; deliver the rest.
+  void drop_first_requests(int n) {
+    auto remaining = std::make_shared<int>(n);
+    transport.set_drop_fn(
+        [remaining](const Endpoint&, const Endpoint& to, const Packet& p) {
+          if (to.host != "server" || p.kind != PacketKind::kRequest) return false;
+          if (*remaining <= 0) return false;
+          --*remaining;
+          return true;
+        });
+  }
+
+  void drop_all_requests() {
+    transport.set_drop_fn([](const Endpoint&, const Endpoint& to,
+                             const Packet& p) {
+      return to.host == "server" && p.kind == PacketKind::kRequest;
+    });
+  }
+
+  /// Teach the client's forecaster a clean 100 ms RTT for `type` so the
+  /// dynamic time-out (tail p98 * 2.5 = 250 ms) and the hedge trigger
+  /// (tail p95 = 100 ms) are exactly known.
+  void seed_rtt(MsgType type, Duration rtt = 100 * kMillisecond) {
+    const EventTag tag = EventTag::of(server.self(), type);
+    for (int i = 0; i < 100; ++i) {
+      client.call_policy().timeouts().on_result(tag, rtt, true);
+    }
+  }
+
+  const CallCounters& counters() const { return sink.counters(); }
+
+  sim::EventQueue events;
+  InProcTransport transport;
+  Node server;
+  Node client;
+  AggregateCallStats sink;
+};
+
+// --------------------------------------------------------------------------
+// Wire status codes.
+
+TEST(WireErr, RoundTripsEveryCode) {
+  for (Err e : {Err::kTimeout, Err::kClosed, Err::kRefused, Err::kProtocol,
+                Err::kUnavailable, Err::kRejected, Err::kInternal}) {
+    EXPECT_EQ(err_from_wire(err_to_wire(e)), e);
+  }
+  // kOk is not an error; a zero or out-of-range status byte must map to a
+  // definite failure rather than round-tripping garbage.
+  EXPECT_EQ(err_from_wire(err_to_wire(Err::kOk)), Err::kInternal);
+  EXPECT_EQ(err_from_wire(0), Err::kInternal);
+  EXPECT_EQ(err_from_wire(0xff), Err::kInternal);
+}
+
+TEST_F(CallPolicyTest, ServerErrCodeSurvivesTheWire) {
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kShedding, {}, CallOptions::fixed(kSecond),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Err::kUnavailable);
+  EXPECT_EQ(got->error().message, "shedding load");
+}
+
+// --------------------------------------------------------------------------
+// Backoff.
+
+TEST(RetryPolicyBackoff, DeterministicAndBounded) {
+  RetryPolicy p;  // base 100 ms, x2, jitter 0.5
+  EXPECT_EQ(p.backoff(1, 42), p.backoff(1, 42));
+  EXPECT_NE(p.backoff(1, 42), p.backoff(1, 43));  // seeds decorrelate
+  for (std::uint32_t prior = 1; prior <= 4; ++prior) {
+    Duration expected_max = 100 * kMillisecond;
+    for (std::uint32_t i = 1; i < prior; ++i) expected_max *= 2;
+    const Duration b = p.backoff(prior, 7);
+    EXPECT_LE(b, expected_max);
+    EXPECT_GE(b, expected_max / 2);  // jitter only shortens, at most by half
+  }
+  p.jitter = 0;
+  EXPECT_EQ(p.backoff(1, 99), 100 * kMillisecond);
+  EXPECT_EQ(p.backoff(3, 99), 400 * kMillisecond);
+  p.max_backoff = 300 * kMillisecond;
+  EXPECT_EQ(p.backoff(5, 99), 300 * kMillisecond);
+}
+
+// --------------------------------------------------------------------------
+// Retries.
+
+TEST_F(CallPolicyTest, RetryRecoversFromLostRequest) {
+  drop_first_requests(1);
+  CallOptions o = CallOptions::fixed(200 * kMillisecond);
+  o.retry = RetryPolicy::standard(3);
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {7}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(got->value(), Bytes{7});
+  EXPECT_EQ(counters().attempts, 2u);
+  EXPECT_EQ(counters().retries, 1u);
+  EXPECT_EQ(counters().timeouts_fired, 1u);
+  EXPECT_EQ(counters().calls_ok, 1u);
+}
+
+TEST_F(CallPolicyTest, RetryBudgetExhaustsToTimeout) {
+  drop_all_requests();
+  CallOptions o = CallOptions::fixed(100 * kMillisecond);
+  o.retry = RetryPolicy::standard(3);
+  o.retry.base_backoff = 50 * kMillisecond;
+  o.retry.jitter = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Err::kTimeout);
+  // 100 + 50 + 100 + 100 + 100: three attempts, two backoffs, no more.
+  EXPECT_EQ(events.clock().now(), 450 * kMillisecond);
+  EXPECT_EQ(counters().attempts, 3u);
+  EXPECT_EQ(counters().retries, 2u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+TEST_F(CallPolicyTest, RejectionIsNotRetried) {
+  CallOptions o = CallOptions::fixed(kSecond);
+  o.retry = RetryPolicy::standard(3);
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kRejecting, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Err::kRejected);
+  EXPECT_EQ(got->error().message, "not today");
+  EXPECT_EQ(counters().attempts, 1u);
+  EXPECT_EQ(counters().retries, 0u);
+}
+
+TEST_F(CallPolicyTest, RetryRejectedOptInRetriesAppVerdicts) {
+  int serves = 0;
+  server.handle(kFlaky, [&](const IncomingMessage&, Responder r) {
+    if (++serves == 1) {
+      r.fail(Err::kRejected, "warming up");
+    } else {
+      r.ok({1});
+    }
+  });
+  CallOptions o = CallOptions::fixed(kSecond);
+  o.retry = RetryPolicy::standard(2);
+  o.retry.retry_rejected = true;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kFlaky, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(serves, 2);
+  EXPECT_EQ(counters().attempts, 2u);
+}
+
+TEST_F(CallPolicyTest, DeadlineBoundsRetries) {
+  drop_all_requests();
+  CallOptions o = CallOptions::fixed(400 * kMillisecond);
+  o.deadline = kSecond;
+  o.retry = RetryPolicy::standard(10);
+  o.retry.base_backoff = 200 * kMillisecond;
+  o.retry.jitter = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Err::kTimeout);
+  // The deadline, not the 10-attempt budget, ends the call — exactly at 1 s.
+  EXPECT_EQ(events.clock().now(), kSecond);
+  EXPECT_EQ(counters().attempts, 2u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Hedging.
+
+TEST_F(CallPolicyTest, HedgeCancelsDuplicateResponse) {
+  seed_rtt(kEcho);                         // hedge at 100 ms, time-out 250 ms
+  transport.set_latency(60 * kMillisecond);  // real RTT 120 ms > hedge delay
+  CallOptions o;                           // dynamic time-out
+  o.hedge = HedgePolicy::at(0.95);
+  int called = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {9}, std::move(o), [&](Result<Bytes> r) {
+    ++called;
+    got = std::move(r);
+  });
+  events.run_until_idle();
+  // The primary answered first (120 ms); the hedge fired at 100 ms and its
+  // response (220 ms) must be swallowed, never delivered twice.
+  EXPECT_EQ(called, 1);
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(got->value(), Bytes{9});
+  EXPECT_EQ(counters().hedges, 1u);
+  EXPECT_EQ(counters().hedge_losses, 1u);
+  EXPECT_EQ(counters().hedge_wins, 0u);
+  EXPECT_EQ(counters().duplicate_responses, 1u);
+  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+TEST_F(CallPolicyTest, HedgeWinsWhenPrimaryIsLost) {
+  seed_rtt(kEcho);
+  transport.set_latency(60 * kMillisecond);
+  drop_first_requests(1);  // the primary vanishes; only the hedge arrives
+  CallOptions o;
+  o.hedge = HedgePolicy::at(0.95);
+  int called = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {3}, std::move(o), [&](Result<Bytes> r) {
+    ++called;
+    got = std::move(r);
+  });
+  events.run_until_idle();
+  EXPECT_EQ(called, 1);
+  ASSERT_TRUE(got && got->ok());
+  // Hedge sent at 100 ms, answered at 220 ms — before the primary's 250 ms
+  // timer, so the call never saw a time-out at all.
+  EXPECT_EQ(events.clock().now(), 220 * kMillisecond);
+  EXPECT_EQ(counters().hedges, 1u);
+  EXPECT_EQ(counters().hedge_wins, 1u);
+  EXPECT_EQ(counters().timeouts_fired, 0u);
+  EXPECT_EQ(counters().calls_ok, 1u);
+}
+
+TEST_F(CallPolicyTest, HedgeSkippedWithoutRttHistory) {
+  transport.set_latency(60 * kMillisecond);
+  CallOptions o;
+  o.hedge = HedgePolicy::at(0.95);  // enabled, but the forecast knows nothing
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(counters().hedges, 0u);
+  EXPECT_EQ(counters().attempts, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Single delivery under spurious time-outs (regression pin).
+
+TEST_F(CallPolicyTest, LateResponseAfterRetriedAttemptDeliversExactlyOnce) {
+  // The server is alive but slow: every attempt's timer fires before its
+  // response lands. The first attempt's late response must rescue the call
+  // (one delivery), and the superseding retry's response must be dropped as
+  // a duplicate (not a second delivery).
+  transport.set_latency(300 * kMillisecond);  // RTT 600 ms
+  CallOptions o = CallOptions::fixed(400 * kMillisecond);
+  o.retry = RetryPolicy::standard(2);
+  int called = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {5}, std::move(o), [&](Result<Bytes> r) {
+    ++called;
+    got = std::move(r);
+  });
+  events.run_until_idle();
+  EXPECT_EQ(called, 1);
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(got->value(), Bytes{5});
+  EXPECT_EQ(counters().timeouts_fired, 1u);
+  EXPECT_EQ(counters().late_responses, 1u);
+  EXPECT_EQ(counters().late_rescues, 1u);
+  EXPECT_EQ(counters().duplicate_responses, 1u);
+  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Circuit breaking.
+
+TEST(CircuitBreakerUnit, OpensHalfOpensAndCloses) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 2;
+  o.open_for = kSecond;
+  o.half_open_probes = 1;
+  CircuitBreaker b(o);
+
+  EXPECT_TRUE(b.allow(0));
+  b.on_result(0, false);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kClosed);  // below threshold
+  b.on_result(0, false);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.allow(500 * kMillisecond));  // shedding
+
+  // The open window elapses: limited probes go through.
+  EXPECT_EQ(b.state(kSecond), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(kSecond));
+  EXPECT_FALSE(b.allow(kSecond));  // probe budget spent
+  b.on_result(kSecond, false);     // the probe failed: re-open
+  EXPECT_EQ(b.state(kSecond), CircuitBreaker::State::kOpen);
+
+  EXPECT_EQ(b.state(2 * kSecond), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(2 * kSecond));
+  b.on_result(2 * kSecond, true);  // one good probe closes it
+  EXPECT_EQ(b.state(2 * kSecond), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(2 * kSecond));
+  EXPECT_EQ(b.times_opened(), 2u);
+}
+
+TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
+  client.call_policy().set_breaker_enabled(true);
+  drop_all_requests();
+  // Default breaker: 5 consecutive failures trip it, 10 s open window.
+  for (int i = 0; i < 5; ++i) {
+    client.call(server.self(), kEcho, {}, CallOptions::fixed(100 * kMillisecond),
+                [](Result<Bytes>) {});
+    events.run_until_idle();
+  }
+  std::optional<Result<Bytes>> shed;
+  client.call(server.self(), kEcho, {}, CallOptions::fixed(100 * kMillisecond),
+              [&](Result<Bytes> r) { shed = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->code(), Err::kUnavailable);  // shed, no network attempt
+  EXPECT_EQ(counters().short_circuits, 1u);
+  EXPECT_EQ(counters().attempts, 5u);
+
+  // The server comes back; after the open window one probe closes the
+  // breaker and traffic flows again.
+  transport.set_drop_fn(nullptr);
+  events.run_for(10 * kSecond);
+  std::optional<Result<Bytes>> probe;
+  client.call(server.self(), kEcho, {1}, CallOptions::fixed(100 * kMillisecond),
+              [&](Result<Bytes> r) { probe = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(probe && probe->ok());
+  std::optional<Result<Bytes>> after;
+  client.call(server.self(), kEcho, {2}, CallOptions::fixed(100 * kMillisecond),
+              [&](Result<Bytes> r) { after = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(after && after->ok());
+  EXPECT_EQ(counters().short_circuits, 1u);  // nothing shed after recovery
+}
+
+}  // namespace
+}  // namespace ew

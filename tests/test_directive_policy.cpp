@@ -36,7 +36,7 @@ class DirectivePolicyTest : public ::testing::Test {
     hello.host = host;
     std::optional<ramsey::WorkSpec> spec;
     client_node_.call(sched_node_.self(), msgtype::kSchedRegister,
-                      hello.serialize(), kSecond, [&](Result<Bytes> r) {
+                      hello.serialize(), CallOptions::fixed(kSecond), [&](Result<Bytes> r) {
                         ASSERT_TRUE(r.ok());
                         auto d = Directive::deserialize(*r);
                         ASSERT_TRUE(d.ok() && d->spec);
@@ -58,7 +58,7 @@ class DirectivePolicyTest : public ::testing::Test {
     Rng rng(unit_id);
     env.report.best_graph = ramsey::ColoredGraph::random(20, rng).serialize();
     client_node_.call(sched_node_.self(), msgtype::kSchedReport, env.serialize(),
-                      kSecond, [](Result<Bytes>) {});
+                      CallOptions::fixed(kSecond), [](Result<Bytes>) {});
     events_.run_for(5 * kSecond);
   }
 

@@ -215,7 +215,7 @@ TEST_F(GossipServerTest, UnexposedTypeRejected) {
   Writer w;
   w.u16(0x0999);
   std::optional<Result<Bytes>> got;
-  probe.call(Endpoint{"comp-a", 2000}, msgtype::kGetState, w.take(), 5 * kSecond,
+  probe.call(Endpoint{"comp-a", 2000}, msgtype::kGetState, w.take(), CallOptions::fixed(5 * kSecond),
              [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(10 * kSecond);
   ASSERT_TRUE(got.has_value());

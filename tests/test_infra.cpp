@@ -253,7 +253,7 @@ TEST_F(InfraTest, NetSolveLaunchesOnlyAfterRequest) {
   Node control(events_, transport_, Endpoint{"control", 1});
   ASSERT_TRUE(control.start().ok());
   std::optional<Result<Bytes>> got;
-  control.call(ns.agent_endpoint(), core::msgtype::kNetSolveRequest, {}, 5 * kSecond,
+  control.call(ns.agent_endpoint(), core::msgtype::kNetSolveRequest, {}, CallOptions::fixed(5 * kSecond),
                [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(5 * kMinute);
   ASSERT_TRUE(got && got->ok());
@@ -282,7 +282,7 @@ TEST_F(InfraTest, TranslatorForwardsAndRelays) {
   Node client(events_, transport_, Endpoint{"legion-client", 1});
   ASSERT_TRUE(client.start().ok());
   std::optional<Result<Bytes>> got;
-  client.call(legion.translator_endpoint(), 0x0201, {5}, 10 * kSecond,
+  client.call(legion.translator_endpoint(), 0x0201, {5}, CallOptions::fixed(10 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(kMinute);
   ASSERT_TRUE(got.has_value());
@@ -307,7 +307,7 @@ TEST_F(InfraTest, TranslatorFailsOverBetweenTargets) {
   Node client(events_, transport_, Endpoint{"legion-client", 1});
   ASSERT_TRUE(client.start().ok());
   std::optional<Result<Bytes>> got;
-  client.call(legion.translator_endpoint(), 0x0201, {}, 30 * kSecond,
+  client.call(legion.translator_endpoint(), 0x0201, {}, CallOptions::fixed(30 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(2 * kMinute);
   ASSERT_TRUE(got && got->ok());
@@ -329,7 +329,7 @@ TEST_F(InfraTest, TranslatorPropagatesRejection) {
   Node client(events_, transport_, Endpoint{"legion-client", 1});
   ASSERT_TRUE(client.start().ok());
   std::optional<Result<Bytes>> got;
-  client.call(legion.translator_endpoint(), 0x0202, {}, 10 * kSecond,
+  client.call(legion.translator_endpoint(), 0x0202, {}, CallOptions::fixed(10 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(kMinute);
   ASSERT_TRUE(got.has_value());

@@ -39,7 +39,7 @@ class NodeTest : public ::testing::Test {
 
 TEST_F(NodeTest, RequestResponseRoundTrip) {
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), kEcho, {1, 2, 3}, kSecond,
+  client.call(server.self(), kEcho, {1, 2, 3}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -49,7 +49,7 @@ TEST_F(NodeTest, RequestResponseRoundTrip) {
 
 TEST_F(NodeTest, ServerRejectionSurfacesCodeAndMessage) {
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), kFailing, {}, kSecond,
+  client.call(server.self(), kFailing, {}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -59,7 +59,7 @@ TEST_F(NodeTest, ServerRejectionSurfacesCodeAndMessage) {
 
 TEST_F(NodeTest, MissingHandlerRejects) {
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), 0x7777, {}, kSecond,
+  client.call(server.self(), 0x7777, {}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -68,7 +68,7 @@ TEST_F(NodeTest, MissingHandlerRejects) {
 
 TEST_F(NodeTest, SilentServerTimesOut) {
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), kSilent, {}, 500 * kMillisecond,
+  client.call(server.self(), kSilent, {}, CallOptions::fixed(500 * kMillisecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -79,7 +79,7 @@ TEST_F(NodeTest, SilentServerTimesOut) {
 
 TEST_F(NodeTest, UnboundEndpointFailsFast) {
   std::optional<Result<Bytes>> got;
-  client.call(Endpoint{"ghost", 9}, kEcho, {}, kSecond,
+  client.call(Endpoint{"ghost", 9}, kEcho, {}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -93,7 +93,7 @@ TEST_F(NodeTest, DroppedRequestTimesOut) {
     return to.host == "server";
   });
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), kEcho, {}, 300 * kMillisecond,
+  client.call(server.self(), kEcho, {}, CallOptions::fixed(300 * kMillisecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -103,7 +103,7 @@ TEST_F(NodeTest, DroppedRequestTimesOut) {
 TEST_F(NodeTest, LateResponseAfterTimeoutIsDropped) {
   transport.set_latency(2 * kSecond);  // deliver after the 1 s timeout
   int called = 0;
-  client.call(server.self(), kEcho, {5}, kSecond, [&](Result<Bytes> r) {
+  client.call(server.self(), kEcho, {5}, CallOptions::fixed(kSecond), [&](Result<Bytes> r) {
     ++called;
     EXPECT_EQ(r.code(), Err::kTimeout);
   });
@@ -134,8 +134,8 @@ TEST_F(NodeTest, RttObserverSeesSuccessAndFailure) {
   client.set_rtt_observer([&](const Endpoint& to, MsgType t, Duration rtt, bool ok) {
     seen.push_back({to, t, rtt, ok});
   });
-  client.call(server.self(), kEcho, {}, kSecond, [](Result<Bytes>) {});
-  client.call(server.self(), kSilent, {}, 400 * kMillisecond, [](Result<Bytes>) {});
+  client.call(server.self(), kEcho, {}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  client.call(server.self(), kSilent, {}, CallOptions::fixed(400 * kMillisecond), [](Result<Bytes>) {});
   events.run_until_idle();
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_TRUE(seen[0].ok);
@@ -149,7 +149,7 @@ TEST_F(NodeTest, ServerRejectionCountsAsSuccessfulRoundTrip) {
   std::vector<bool> oks;
   client.set_rtt_observer(
       [&](const Endpoint&, MsgType, Duration, bool ok) { oks.push_back(ok); });
-  client.call(server.self(), kFailing, {}, kSecond, [](Result<Bytes>) {});
+  client.call(server.self(), kFailing, {}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
   events.run_until_idle();
   ASSERT_EQ(oks.size(), 1u);
   EXPECT_TRUE(oks[0]);  // the server responded; the transport worked
@@ -162,7 +162,7 @@ TEST_F(NodeTest, DoubleReplyIsHarmless) {
     r.fail(Err::kInternal);  // ignored
   });
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), 0x66, {}, kSecond,
+  client.call(server.self(), 0x66, {}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -175,7 +175,7 @@ TEST_F(NodeTest, DeferredReplyWorks) {
   std::optional<Responder> held;
   server.handle(0x67, [&](const IncomingMessage&, Responder r) { held = r; });
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), 0x67, {}, 5 * kSecond,
+  client.call(server.self(), 0x67, {}, CallOptions::fixed(5 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_for(kSecond);
   ASSERT_TRUE(held.has_value());
@@ -190,7 +190,7 @@ TEST_F(NodeTest, StopAbandonsOutstandingCalls) {
   // Stop is a teardown operation: callbacks must NOT fire (their owners may
   // already be destroyed), and nothing may remain scheduled.
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), kSilent, {}, 60 * kSecond,
+  client.call(server.self(), kSilent, {}, CallOptions::fixed(60 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_for(kSecond);
   client.stop();
@@ -209,39 +209,56 @@ TEST_F(NodeTest, BindConflictRejected) {
   EXPECT_EQ(dup.start().code(), Err::kRejected);
 }
 
-TEST_F(NodeTest, GlobalStatsTrackSpuriousTimeouts) {
-  Node::reset_global_stats();
+TEST_F(NodeTest, ProcessStatsTrackSpuriousTimeouts) {
+  process_call_stats().reset();
   // Response slower than the time-out: the timer fires, then the late
   // response arrives and is recorded as a misjudgment.
   transport.set_latency(300 * kMillisecond);  // RTT 600 ms
   int called = 0;
-  client.call(server.self(), kEcho, {}, 400 * kMillisecond,
+  client.call(server.self(), kEcho, {}, CallOptions::fixed(400 * kMillisecond),
               [&](Result<Bytes>) { ++called; });
   events.run_until_idle();
   EXPECT_EQ(called, 1);
-  EXPECT_EQ(Node::global_stats().timeouts_fired, 1u);
-  EXPECT_EQ(Node::global_stats().late_responses, 1u);
-  EXPECT_EQ(Node::global_stats().timeout_wait_us,
+  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 1u);
+  EXPECT_EQ(process_call_stats().counters().late_responses, 1u);
+  EXPECT_EQ(process_call_stats().counters().timeout_wait_us,
             static_cast<std::uint64_t>(400 * kMillisecond));
-  Node::reset_global_stats();
-  EXPECT_EQ(Node::global_stats().timeouts_fired, 0u);
+  process_call_stats().reset();
+  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 0u);
 }
 
-TEST_F(NodeTest, GlobalStatsIgnoreHealthyCalls) {
-  Node::reset_global_stats();
-  client.call(server.self(), kEcho, {}, kSecond, [](Result<Bytes>) {});
+TEST_F(NodeTest, ProcessStatsIgnoreHealthyCalls) {
+  process_call_stats().reset();
+  client.call(server.self(), kEcho, {}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
   events.run_until_idle();
-  EXPECT_EQ(Node::global_stats().timeouts_fired, 0u);
-  EXPECT_EQ(Node::global_stats().late_responses, 0u);
+  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 0u);
+  EXPECT_EQ(process_call_stats().counters().late_responses, 0u);
+}
+
+TEST_F(NodeTest, InjectedSinkReceivesStatsInsteadOfProcessAggregate) {
+  AggregateCallStats local;
+  client.call_policy().set_stats_sink(&local);
+  process_call_stats().reset();
+  client.call(server.self(), kEcho, {1}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  events.run_until_idle();
+  EXPECT_EQ(local.counters().calls_started, 1u);
+  EXPECT_EQ(local.counters().calls_ok, 1u);
+  EXPECT_EQ(local.counters().attempts, 1u);
+  EXPECT_EQ(process_call_stats().counters().calls_started, 0u);
+  client.call_policy().set_stats_sink(nullptr);  // restore the default
+  client.call(server.self(), kEcho, {2}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  events.run_until_idle();
+  EXPECT_EQ(process_call_stats().counters().calls_started, 1u);
+  EXPECT_EQ(local.counters().calls_started, 1u);
 }
 
 TEST_F(NodeTest, ConcurrentCallsMatchBySequence) {
   // Two outstanding echoes with different payloads resolve to the right
   // callbacks even if responses interleave.
   std::vector<int> results(2, -1);
-  client.call(server.self(), kEcho, {10}, kSecond,
+  client.call(server.self(), kEcho, {10}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { results[0] = r.value()[0]; });
-  client.call(server.self(), kEcho, {20}, kSecond,
+  client.call(server.self(), kEcho, {20}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { results[1] = r.value()[0]; });
   events.run_until_idle();
   EXPECT_EQ(results[0], 10);

@@ -106,7 +106,7 @@ TEST_F(NwsTest, QueryOverTheWire) {
   Writer w;
   w.str("custom:series");
   std::optional<Result<Bytes>> got;
-  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), 5 * kSecond,
+  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), CallOptions::fixed(5 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(10 * kSecond);
   ASSERT_TRUE(got && got->ok());
@@ -124,7 +124,7 @@ TEST_F(NwsTest, QueryUnknownResourceRejected) {
   Writer w;
   w.str("no:such:resource");
   std::optional<Result<Bytes>> got;
-  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), 5 * kSecond,
+  client.call(Endpoint{"n0", 950}, msgtype::kNwsQuery, w.take(), CallOptions::fixed(5 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(10 * kSecond);
   ASSERT_TRUE(got.has_value());

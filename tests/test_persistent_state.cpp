@@ -101,7 +101,7 @@ TEST_F(PersistentStateTest, NetworkStoreAndFetch) {
   req.name = best_graph_name(17, 4);
   req.blob = ramsey_object(*paley, true, 1);
   std::optional<Result<Bytes>> store_result;
-  client.call(node.self(), msgtype::kStateStore, req.serialize(), kSecond,
+  client.call(node.self(), msgtype::kStateStore, req.serialize(), CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { store_result = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(store_result && store_result->ok());
@@ -109,7 +109,7 @@ TEST_F(PersistentStateTest, NetworkStoreAndFetch) {
   Writer w;
   w.str(req.name);
   std::optional<Result<Bytes>> fetch_result;
-  client.call(node.self(), msgtype::kStateFetch, w.take(), kSecond,
+  client.call(node.self(), msgtype::kStateFetch, w.take(), CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { fetch_result = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(fetch_result && fetch_result->ok());
@@ -124,7 +124,7 @@ TEST_F(PersistentStateTest, NetworkRejectionCarriesMessage) {
   req.name = best_graph_name(17, 4);
   req.blob = ramsey_object(ramsey::ColoredGraph::random(17, rng), true, 1);
   std::optional<Result<Bytes>> got;
-  client.call(node.self(), msgtype::kStateStore, req.serialize(), kSecond,
+  client.call(node.self(), msgtype::kStateStore, req.serialize(), CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());
@@ -138,7 +138,7 @@ TEST_F(PersistentStateTest, FetchMissingObjectRejected) {
   Writer w;
   w.str("no/such/object");
   std::optional<Result<Bytes>> got;
-  client.call(node.self(), msgtype::kStateFetch, w.take(), kSecond,
+  client.call(node.self(), msgtype::kStateFetch, w.take(), CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got.has_value());

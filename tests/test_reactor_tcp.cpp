@@ -152,7 +152,7 @@ TEST(TcpTransport, NodeRpcOverLocalhost) {
   });
 
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), 0x42, {1, 2}, 2 * kSecond,
+  client.call(server.self(), 0x42, {1, 2}, CallOptions::fixed(2 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   for (int i = 0; i < 100 && !got; ++i) reactor.run_for(20 * kMillisecond);
   ASSERT_TRUE(got.has_value());
@@ -185,7 +185,7 @@ TEST(TcpTransport, LargePayloadRoundTrip) {
     big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
   }
   std::optional<Result<Bytes>> got;
-  client.call(server.self(), 0x43, big, 10 * kSecond,
+  client.call(server.self(), 0x43, big, CallOptions::fixed(10 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   for (int i = 0; i < 500 && !got; ++i) reactor.run_for(20 * kMillisecond);
   ASSERT_TRUE(got.has_value());

@@ -129,24 +129,24 @@ TEST(Scenario, AdaptiveTimeoutsAreStablerThanShortStatic) {
   // equivalent delivered throughput (compute dominates ops in this model).
   ScenarioOptions base = quick_options();
 
-  Node::reset_global_stats();
+  process_call_stats().reset();
   const ScenarioResults ra = Sc98Scenario(base).run();
-  const auto adaptive = Node::global_stats();
+  const CallCounters adaptive = process_call_stats().counters();
 
   ScenarioOptions tight = base;
   tight.adaptive_timeouts = false;
   tight.static_timeout = 300 * kMillisecond;
-  Node::reset_global_stats();
+  process_call_stats().reset();
   const ScenarioResults rt = Sc98Scenario(tight).run();
-  const auto short_static = Node::global_stats();
+  const CallCounters short_static = process_call_stats().counters();
 
   ScenarioOptions loose = base;
   loose.adaptive_timeouts = false;
   loose.static_timeout = 20 * kSecond;
-  Node::reset_global_stats();
+  process_call_stats().reset();
   Sc98Scenario(loose).run();
-  const auto long_static = Node::global_stats();
-  Node::reset_global_stats();
+  const CallCounters long_static = process_call_stats().counters();
+  process_call_stats().reset();
 
   EXPECT_LT(adaptive.late_responses * 2, short_static.late_responses)
       << "adaptive misjudged " << adaptive.late_responses

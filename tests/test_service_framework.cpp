@@ -59,7 +59,7 @@ TEST_F(ServiceFrameworkTest, ModulesAttachAndServe) {
   Node client(events_, transport_, Endpoint{"cli", 1});
   ASSERT_TRUE(client.start().ok());
   std::optional<Result<Bytes>> got;
-  client.call(Endpoint{"svc", 100}, kPing, {7}, kSecond,
+  client.call(Endpoint{"svc", 100}, kPing, {7}, CallOptions::fixed(kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(5 * kSecond);
   ASSERT_TRUE(got && got->ok());
@@ -238,7 +238,7 @@ TEST_F(ServiceFrameworkTest, DirectoriesConvergeThroughGossip) {
   Node client(events_, transport_, Endpoint{"cli", 1});
   ASSERT_TRUE(client.start().ok());
   std::optional<Result<Bytes>> got;
-  client.call(Endpoint{"srv0", 601}, msgtype::kDirectoryQuery, {}, 5 * kSecond,
+  client.call(Endpoint{"srv0", 601}, msgtype::kDirectoryQuery, {}, CallOptions::fixed(5 * kSecond),
               [&](Result<Bytes> r) { got = std::move(r); });
   events_.run_for(10 * kSecond);
   ASSERT_TRUE(got && got->ok());
