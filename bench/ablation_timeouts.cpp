@@ -35,6 +35,7 @@
 #include "bench/bench_util.hpp"
 #include "net/call_policy.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network_model.hpp"
 #include "sim/sim_transport.hpp"
@@ -240,22 +241,27 @@ int run_policy_ablation(std::size_t calls) {
     best_completion = std::max(best_completion, arms[i].completion);
   }
 
-  std::printf("{\"bench\":\"ablation_call_policy\",\"loss\":%.3f,"
-              "\"calls\":%zu,\"arms\":[",
-              loss, calls);
-  for (std::size_t i = 0; i < arms.size(); ++i) {
-    const PolicyArm& a = arms[i];
-    std::printf("%s{\"arm\":\"%s\",\"completion\":%.4f,\"p99_s\":%.4f,"
-                "\"packets_per_call\":%.3f,\"attempts_per_call\":%.3f,"
-                "\"retries\":%llu,\"hedges\":%llu,\"hedge_wins\":%llu}",
-                i ? "," : "", a.label.c_str(), a.completion, a.p99_s,
-                a.packets_per_call, a.attempts_per_call,
-                static_cast<unsigned long long>(a.retries),
-                static_cast<unsigned long long>(a.hedges),
-                static_cast<unsigned long long>(a.hedge_wins));
+  std::vector<std::string> arm_objs;
+  arm_objs.reserve(arms.size());
+  for (const PolicyArm& a : arms) {
+    JsonWriter w;
+    w.str("arm", a.label)
+        .f("completion", a.completion, 4)
+        .f("p99_s", a.p99_s, 4)
+        .f("packets_per_call", a.packets_per_call, 3)
+        .f("attempts_per_call", a.attempts_per_call, 3)
+        .u64("retries", a.retries)
+        .u64("hedges", a.hedges)
+        .u64("hedge_wins", a.hedge_wins);
+    arm_objs.push_back(w.object());
   }
-  std::printf("],\"extra_traffic_ratio\":%.3f,\"completion_gain\":%.4f}\n",
-              worst_traffic, best_completion - base.completion);
+  JsonWriter line;
+  line.f("loss", loss, 3)
+      .u64("calls", calls)
+      .raw("arms", json_array(arm_objs))
+      .f("extra_traffic_ratio", worst_traffic, 3)
+      .f("completion_gain", best_completion - base.completion, 4);
+  emit_json("ablation_call_policy", line);
 
   // Every policy arm must beat the bare arm on completion, at bounded cost.
   bool ok = true;
@@ -272,6 +278,17 @@ int run_policy_ablation(std::size_t calls) {
   return ok ? 0 : 1;
 }
 
+// The whole point of the unified registry: ONE document answering "what did
+// the call layer, the gossip layer and the scheduler do this run". Part 1's
+// scenarios feed the process-wide registry (call attempts/retries/hedges and
+// breaker opens via process_call_stats(), gossip sync rounds, scheduler
+// dispatches), so a single snapshot_json() replaces a per-subsystem probe.
+void emit_obs_snapshot() {
+  JsonWriter line;
+  line.raw("registry", obs::snapshot_json());
+  emit_json("ablation_obs_snapshot", line);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,10 +298,19 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--policy") == 0) policy_only = true;
   }
-  if (quick) return run_policy_ablation(400);
-  if (policy_only) return run_policy_ablation(4000);
+  if (quick) {
+    const int rc = run_policy_ablation(400);
+    emit_obs_snapshot();
+    return rc;
+  }
+  if (policy_only) {
+    const int rc = run_policy_ablation(4000);
+    emit_obs_snapshot();
+    return rc;
+  }
   const int rc_timeouts = run_timeout_ablation();
   std::printf("\n=== Ablation: reliable-call policy under 10%% loss ===\n");
   const int rc_policy = run_policy_ablation(4000);
+  emit_obs_snapshot();
   return rc_timeouts != 0 ? rc_timeouts : rc_policy;
 }

@@ -6,6 +6,13 @@ if(NOT rc_forecast EQUAL 0)
   message(FATAL_ERROR "micro_forecast --quick failed (exit ${rc_forecast})")
 endif()
 
+# Observability hot path: --quick skips the wall-clock gate but still
+# asserts the record paths allocate nothing.
+execute_process(COMMAND ${MICRO_OBS} --quick RESULT_VARIABLE rc_obs)
+if(NOT rc_obs EQUAL 0)
+  message(FATAL_ERROR "micro_obs --quick failed (exit ${rc_obs})")
+endif()
+
 execute_process(
   COMMAND ${MICRO_PACKET} --benchmark_min_time=0.01 --benchmark_filter=BM_EncodePacket/64|BM_FrameParseChunked/1460
   RESULT_VARIABLE rc_packet)

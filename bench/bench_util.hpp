@@ -2,14 +2,97 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "app/scenario.hpp"
 
 namespace ew::bench {
+
+/// Builder for the ONE machine-readable JSON line each bench emits (see
+/// EXPERIMENTS.md). Fields render in insertion order so a bench's line is
+/// stable across runs; raw() splices an already-rendered JSON value (a
+/// nested object or array — usually another JsonWriter, or a document such
+/// as obs::snapshot_json()). Keys are trusted literals; string *values* get
+/// quote/backslash escaping.
+class JsonWriter {
+ public:
+  JsonWriter& u64(std::string_view key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    return append(key, buf);
+  }
+  /// Fixed-point double — the common case for rates and seconds.
+  JsonWriter& f(std::string_view key, double v, int precision = 3) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return append(key, buf);
+  }
+  /// Shortest-form double (%g) for checksums and wide-range values.
+  JsonWriter& g(std::string_view key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return append(key, buf);
+  }
+  JsonWriter& str(std::string_view key, std::string_view v) {
+    std::string quoted;
+    quoted.reserve(v.size() + 2);
+    quoted.push_back('"');
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return append(key, quoted);
+  }
+  JsonWriter& raw(std::string_view key, std::string_view json) {
+    return append(key, json);
+  }
+  /// Append every field of another writer (used by emit_json).
+  JsonWriter& merge(const JsonWriter& other) {
+    if (other.body_.empty()) return *this;
+    if (!body_.empty()) body_.push_back(',');
+    body_ += other.body_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string object() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonWriter& append(std::string_view key, std::string_view value) {
+    if (!body_.empty()) body_.push_back(',');
+    body_.push_back('"');
+    body_.append(key);
+    body_ += "\":";
+    body_.append(value);
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Join pre-rendered JSON values into an array.
+inline std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out.push_back(',');
+    out += items[i];
+  }
+  out.push_back(']');
+  return out;
+}
+
+/// Print a bench's single JSON line: {"bench":"<name>",<fields...>}\n.
+/// Every harness emits through here so the line shape cannot drift.
+inline void emit_json(std::string_view name, const JsonWriter& fields) {
+  JsonWriter line;
+  line.str("bench", name).merge(fields);
+  std::printf("%s\n", line.object().c_str());
+}
 
 /// Wall-clock label for a recording-window offset (t=0 is 23:36:56 PST).
 inline std::string pst_label(Duration offset_from_record_start) {

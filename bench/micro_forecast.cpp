@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "forecast/dynamic_benchmark.hpp"
 #include "forecast/forecaster.hpp"
@@ -113,27 +114,24 @@ int main(int argc, char** argv) {
   checksum += replay_bank.forecast(tag).value;
 
   // Per-method breakdown (observe cost of each battery member alone).
-  std::string per_method = "{";
+  bench::JsonWriter per_method;
   for (auto& method : default_battery()) {
     for (double v : make_series(256, 97)) method->observe(v);
     const Timed m = time_per_op(quick ? 20'000 : 1'000'000, [&](std::size_t i) {
       return method->observe(series[i % series.size()]);
     });
     checksum += m.checksum;
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.1f",
-                  per_method.size() > 1 ? "," : "", method->name().c_str(),
-                  m.ns_per_op);
-    per_method += buf;
+    per_method.f(method->name(), m.ns_per_op, 1);
   }
-  per_method += "}";
 
-  std::printf(
-      "{\"bench\":\"micro_forecast\",\"samples\":%zu,"
-      "\"ns_per_observe\":%.1f,\"ns_per_forecast\":%.1f,"
-      "\"ns_per_bank_record\":%.1f,\"ns_per_batch_observe\":%.1f,"
-      "\"per_method\":%s,\"checksum\":%.6g}\n",
-      kObs, obs.ns_per_op, fc.ns_per_op, rec.ns_per_op, ns_batch,
-      per_method.c_str(), checksum);
+  bench::JsonWriter line;
+  line.u64("samples", kObs)
+      .f("ns_per_observe", obs.ns_per_op, 1)
+      .f("ns_per_forecast", fc.ns_per_op, 1)
+      .f("ns_per_bank_record", rec.ns_per_op, 1)
+      .f("ns_per_batch_observe", ns_batch, 1)
+      .raw("per_method", per_method.object())
+      .g("checksum", checksum);
+  bench::emit_json("micro_forecast", line);
   return 0;
 }

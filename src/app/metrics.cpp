@@ -1,5 +1,7 @@
 #include "app/metrics.hpp"
 
+#include "obs/registry.hpp"
+
 namespace ew::app {
 
 namespace {
@@ -28,7 +30,10 @@ void MetricsCollector::on_log(const core::LogRecord& rec) {
 
 void MetricsCollector::sample_hosts(core::Infra infra, int active_hosts,
                                     TimePoint t) {
-  infra_hosts_[static_cast<std::size_t>(infra)].sample(t, active_hosts);
+  if (!infra_hosts_[static_cast<std::size_t>(infra)].sample(t, active_hosts)) {
+    ++dropped_samples_;
+    obs::registry().counter(obs::names::kAppDroppedSamples).inc();
+  }
 }
 
 }  // namespace ew::app

@@ -35,12 +35,19 @@ class MetricsCollector {
     return infra_hosts_[static_cast<std::size_t>(i)].average_series();
   }
   [[nodiscard]] std::uint64_t records() const { return records_; }
+  /// Host-count gauge samples rejected by the series (t before record_start
+  /// or past the last bin). Previously dropped silently; also exported as
+  /// the app.metrics.dropped_samples obs counter.
+  [[nodiscard]] std::uint64_t dropped_samples() const {
+    return dropped_samples_;
+  }
 
  private:
   BinnedSeries total_;
   std::array<BinnedSeries, core::kInfraCount> infra_ops_;
   std::array<BinnedSeries, core::kInfraCount> infra_hosts_;
   std::uint64_t records_ = 0;
+  std::uint64_t dropped_samples_ = 0;
 };
 
 }  // namespace ew::app

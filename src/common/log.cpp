@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace ew {
 
@@ -24,6 +25,18 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+// The default sink. Untagged records render exactly the historical
+// "[LVL] message" stderr line; a component prefixes "component: ".
+void render_stderr(const Log::Record& rec) {
+  if (rec.component.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", level_name(rec.level),
+                 rec.message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(rec.level),
+                 rec.component.c_str(), rec.message.c_str());
+  }
+}
 }  // namespace
 
 void Log::set_level(LogLevel level) { g_level.store(level); }
@@ -34,14 +47,18 @@ void Log::set_sink(Sink sink) {
   sink_storage() = std::move(sink);
 }
 
-void Log::write(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+void Log::write(Record rec) {
+  if (static_cast<int>(rec.level) < static_cast<int>(g_level.load())) return;
   std::lock_guard lock(g_sink_mutex);
   if (auto& sink = sink_storage()) {
-    sink(level, msg);
+    sink(rec);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    render_stderr(rec);
   }
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  write(Record{level, {}, msg, {}});
 }
 
 }  // namespace ew

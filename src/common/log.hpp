@@ -3,6 +3,10 @@
 // The SC98 application shipped performance records to a dedicated logging
 // service (Section 3.1.3); that lives in src/core/logging_service.hpp. This
 // file is only the local diagnostic logger used by the toolkit itself.
+//
+// Sinks receive a structured Record (level, component, message, event_tag)
+// rather than a pre-formatted line, so collectors can route or index on the
+// fields; the default sink renders to stderr exactly as it always has.
 #pragma once
 
 #include <functional>
@@ -16,7 +20,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Process-wide logging configuration. Thread-safe.
 class Log {
  public:
-  using Sink = std::function<void(LogLevel, const std::string&)>;
+  /// One structured log event. `component` names the emitting subsystem
+  /// ("" for untagged toolkit logs); `event_tag` optionally carries the
+  /// dynamic-benchmarking tag so log lines join against forecast streams
+  /// and obs trace spans.
+  struct Record {
+    LogLevel level = LogLevel::kInfo;
+    std::string component;
+    std::string message;
+    std::string event_tag;
+  };
+
+  using Sink = std::function<void(const Record&)>;
 
   /// Minimum level that will be emitted (default: kWarn, keeps tests quiet).
   static void set_level(LogLevel level);
@@ -25,6 +40,9 @@ class Log {
   /// Replace the output sink (default writes to stderr). Pass nullptr to restore.
   static void set_sink(Sink sink);
 
+  static void write(Record rec);
+  /// Untagged convenience: component and event_tag empty. Renders through
+  /// the default sink byte-identically to the pre-Record logger.
   static void write(LogLevel level, const std::string& msg);
 };
 
@@ -32,7 +50,14 @@ namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(LogLevel level, std::string component, std::string event_tag = {})
+      : level_(level),
+        component_(std::move(component)),
+        event_tag_(std::move(event_tag)) {}
+  ~LogLine() {
+    Log::write(Log::Record{level_, std::move(component_), os_.str(),
+                           std::move(event_tag_)});
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
   template <typename T>
@@ -43,6 +68,8 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string component_;
+  std::string event_tag_;
   std::ostringstream os_;
 };
 }  // namespace detail
@@ -53,6 +80,12 @@ class LogLine {
   if (static_cast<int>(lvl_) < static_cast<int>(::ew::Log::level())) { \
   } else                                                                \
     ::ew::detail::LogLine(lvl_)
+
+// Component-tagged variant: EW_LOG_C(level, "gossip") << "...";
+#define EW_LOG_C(lvl_, component_)                                      \
+  if (static_cast<int>(lvl_) < static_cast<int>(::ew::Log::level())) { \
+  } else                                                                \
+    ::ew::detail::LogLine(lvl_, component_)
 
 #define EW_DEBUG EW_LOG(::ew::LogLevel::kDebug)
 #define EW_INFO EW_LOG(::ew::LogLevel::kInfo)

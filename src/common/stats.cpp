@@ -277,19 +277,21 @@ BinnedSeries::BinnedSeries(TimePoint start, Duration bin_width, std::size_t num_
   if (num_bins == 0) throw std::invalid_argument("BinnedSeries: zero bins");
 }
 
-void BinnedSeries::add(TimePoint t, double amount) {
-  if (t < start_) return;
+bool BinnedSeries::add(TimePoint t, double amount) {
+  if (t < start_) return false;
   const auto bin = static_cast<std::size_t>((t - start_) / width_);
-  if (bin >= sums_.size()) return;
+  if (bin >= sums_.size()) return false;
   sums_[bin] += amount;
+  return true;
 }
 
-void BinnedSeries::sample(TimePoint t, double value) {
-  if (t < start_) return;
+bool BinnedSeries::sample(TimePoint t, double value) {
+  if (t < start_) return false;
   const auto bin = static_cast<std::size_t>((t - start_) / width_);
-  if (bin >= sample_sums_.size()) return;
+  if (bin >= sample_sums_.size()) return false;
   sample_sums_[bin] += value;
   sample_counts_[bin] += 1;
+  return true;
 }
 
 TimePoint BinnedSeries::bin_start(std::size_t i) const {

@@ -189,13 +189,15 @@ class BinnedSeries {
  public:
   BinnedSeries(TimePoint start, Duration bin_width, std::size_t num_bins);
 
-  /// Deposit `amount` (e.g. integer ops completed) at time t. Out-of-range
-  /// times are ignored.
-  void add(TimePoint t, double amount);
+  /// Deposit `amount` (e.g. integer ops completed) at time t. Returns false
+  /// (and deposits nothing) when t falls outside the recorded range, so
+  /// callers can count what they lose instead of losing it silently.
+  bool add(TimePoint t, double amount);
 
   /// Record an instantaneous gauge sample (e.g. host count) at time t;
-  /// per-bin value is the average of samples in the bin.
-  void sample(TimePoint t, double value);
+  /// per-bin value is the average of samples in the bin. Returns false when
+  /// t falls outside the recorded range (sample dropped).
+  bool sample(TimePoint t, double value);
 
   [[nodiscard]] std::size_t num_bins() const { return sums_.size(); }
   [[nodiscard]] TimePoint bin_start(std::size_t i) const;

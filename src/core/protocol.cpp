@@ -126,6 +126,29 @@ Result<LogRecord> LogRecord::deserialize(const Bytes& data) {
   return rec;
 }
 
+Bytes MetricsSnapshot::serialize() const {
+  Writer w;
+  w.i64(when);
+  gossip::write_endpoint(w, source);
+  w.str(json);
+  return w.take();
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::deserialize(const Bytes& data) {
+  Reader r(data);
+  MetricsSnapshot snap;
+  auto when = r.i64();
+  if (!when) return when.error();
+  snap.when = *when;
+  auto ep = gossip::read_endpoint(r);
+  if (!ep) return ep.error();
+  snap.source = std::move(*ep);
+  auto json = r.str();
+  if (!json) return json.error();
+  snap.json = std::move(*json);
+  return snap;
+}
+
 Bytes StoreRequest::serialize() const {
   Writer w;
   w.str(name);

@@ -27,6 +27,7 @@ constexpr MsgType kStateStore = 0x0210;
 constexpr MsgType kStateFetch = 0x0211;
 // Logging service (one-way).
 constexpr MsgType kLogRecord = 0x0220;
+constexpr MsgType kMetricsSnapshot = 0x0221;  // obs registry snapshot (JSON)
 // Simulated Globus services (Section 5.2).
 constexpr MsgType kGramSubmit = 0x0230;
 constexpr MsgType kGramAuth = 0x0231;
@@ -104,6 +105,19 @@ struct LogRecord {
 
   [[nodiscard]] Bytes serialize() const;
   static Result<LogRecord> deserialize(const Bytes& data);
+};
+
+/// A whole obs::Registry snapshot shipped off-host, the paper's "limit and
+/// control the storage load" pattern applied to telemetry: components
+/// periodically post their counters to the logging service instead of
+/// growing them locally forever.
+struct MetricsSnapshot {
+  TimePoint when = 0;    // stamped by the reporter
+  Endpoint source;       // the node whose registry this is
+  std::string json;      // obs::snapshot_json() document
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<MetricsSnapshot> deserialize(const Bytes& data);
 };
 
 /// Persistent-state store request.

@@ -6,6 +6,8 @@
 #include "common/log.hpp"
 #include "core/persistent_state.hpp"
 #include "gossip/state.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ew::core {
 
@@ -105,6 +107,13 @@ void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& r
   clients_[info.hello.client] = std::move(info);
   Directive d;
   d.spec = spec;
+  obs::registry().counter(obs::names::kSchedDispatches).inc();
+  if (obs::trace().enabled()) {
+    obs::trace().record(node_.executor().now(), obs::SpanKind::kSchedDispatch,
+                        obs::trace().intern(msg.from.to_string()),
+                        /*a=register=*/0,
+                        static_cast<std::int64_t>(clients_.size()));
+  }
   resp.ok(d.serialize());
 }
 
@@ -123,6 +132,7 @@ void SchedulerServer::on_report(const IncomingMessage& msg, const Responder& res
     return;
   }
   ++reports_;
+  obs::registry().counter(obs::names::kSchedReports).inc();
   ClientInfo& info = it->second;
   const TimePoint now = node_.executor().now();
   const Duration gap = now - info.last_report;
@@ -152,6 +162,13 @@ void SchedulerServer::on_report(const IncomingMessage& msg, const Responder& res
     d.spec = std::move(info.pending);
     info.pending.reset();
     info.unit_id = d.spec->unit_id;
+    obs::registry().counter(obs::names::kSchedDispatches).inc();
+    if (obs::trace().enabled()) {
+      obs::trace().record(now, obs::SpanKind::kSchedDispatch,
+                          obs::trace().intern(env->client.to_string()),
+                          /*a=redirect=*/1,
+                          static_cast<std::int64_t>(clients_.size()));
+    }
   }
   resp.ok(d.serialize());
 }
@@ -259,6 +276,7 @@ void SchedulerServer::sweep_tick() {
       // reported — the work, unlike the process, survives.
       pool_.release(it->second.unit_id);
       ++presumed_dead_;
+      obs::registry().counter(obs::names::kSchedPresumedDead).inc();
       it = clients_.erase(it);
     } else {
       ++it;
@@ -311,6 +329,13 @@ void SchedulerServer::migrate_tick() {
     slow.pending = pool_.acquire();
     slow.unit_id = slow.pending->unit_id;
     ++migrations_;
+    obs::registry().counter(obs::names::kSchedMigrations).inc();
+    if (obs::trace().enabled()) {
+      obs::trace().record(now, obs::SpanKind::kSchedMigration,
+                          obs::trace().intern(slow_ep.to_string()),
+                          static_cast<std::int64_t>(migrations_),
+                          static_cast<std::int64_t>(unit));
+    }
     EW_DEBUG << "scheduler: migrating unit " << unit << " from "
              << slow_ep.to_string() << " to " << rit->second.to_string();
     return;

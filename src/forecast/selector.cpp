@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace ew {
 
 AdaptiveForecaster::AdaptiveForecaster(
@@ -35,6 +38,26 @@ void AdaptiveForecaster::observe(double value) {
     predictions_[i] = battery_[i]->observe(value);
   }
   ++samples_;
+  if (trace_tag_ != 0) note_method_switch();
+}
+
+void AdaptiveForecaster::enable_method_switch_trace(std::uint32_t trace_tag) {
+  trace_tag_ = trace_tag;
+  last_best_ = best_index();
+}
+
+void AdaptiveForecaster::note_method_switch() {
+  // Off the untraced hot path: only streams that opted in pay the O(battery)
+  // best-index scan per observation.
+  const std::size_t best = best_index();
+  if (best == last_best_) return;
+  const std::size_t prev = last_best_;
+  last_best_ = best;
+  obs::registry().counter(obs::names::kForecastMethodSwitches).inc();
+  obs::trace().record(static_cast<std::int64_t>(samples_),
+                      obs::SpanKind::kForecastMethodSwitch, trace_tag_,
+                      static_cast<std::int64_t>(prev),
+                      static_cast<std::int64_t>(best));
 }
 
 void AdaptiveForecaster::observe(std::span<const double> values) {

@@ -16,6 +16,7 @@
 // string_view into storage owned by this selector.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -63,8 +64,16 @@ class AdaptiveForecaster {
   [[nodiscard]] std::vector<std::string> method_names() const;
   [[nodiscard]] std::size_t samples() const { return samples_; }
 
+  /// Emit an obs kForecastMethodSwitch span (tagged `trace_tag`, an id from
+  /// obs::trace().intern) whenever the battery's best method changes.
+  /// Off by default; the disabled cost in observe() is one integer compare.
+  /// The forecaster is clock-free, so spans are stamped with the sample
+  /// index (DESIGN.md §8). Pass 0 to disable again.
+  void enable_method_switch_trace(std::uint32_t trace_tag);
+
  private:
   [[nodiscard]] std::size_t best_index() const;
+  void note_method_switch();
   std::vector<std::unique_ptr<Forecaster>> battery_;
   std::vector<ErrorTracker> errors_;
   // Standing predictions, refreshed on every observe; predictions_[i] is
@@ -76,6 +85,10 @@ class AdaptiveForecaster {
   // it).
   std::vector<std::string> names_;
   std::size_t samples_ = 0;
+  // Method-switch tracing (0 = off). last_best_ tracks the previously
+  // winning method so observe() can detect the regime change itself.
+  std::uint32_t trace_tag_ = 0;
+  std::size_t last_best_ = 0;
 };
 
 }  // namespace ew

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ew::gossip {
 
@@ -55,6 +57,7 @@ void CliqueMember::install_view(View v) {
   }
   const bool changed = v.generation != view_.generation ||
                        v.leader != view_.leader || v.members != view_.members;
+  const bool new_leader = v.leader != view_.leader;
   view_ = std::move(v);
   last_token_ = node_.executor().now();
   merging_ = false;
@@ -62,12 +65,29 @@ void CliqueMember::install_view(View v) {
     EW_DEBUG << node_.self().to_string() << ": view gen " << view_.generation
              << " leader " << view_.leader.to_string() << " size "
              << view_.members.size();
+    if (new_leader) {
+      obs::registry().counter(obs::names::kCliqueElections).inc();
+      if (obs::trace().enabled()) {
+        obs::trace().record(node_.executor().now(),
+                            obs::SpanKind::kCliqueElection,
+                            obs::trace().intern(view_.leader.to_string()),
+                            static_cast<std::int64_t>(view_.members.size()),
+                            is_leader() ? 1 : 0);
+      }
+    }
     for (auto& fn : listeners_) fn(view_);
   }
 }
 
 void CliqueMember::become_singleton() {
   ++fragmentations_;
+  obs::registry().counter(obs::names::kCliqueFragmentations).inc();
+  // Fragmenting elects self: the singleton view has a new leader.
+  obs::registry().counter(obs::names::kCliqueElections).inc();
+  if (obs::trace().enabled()) {
+    obs::trace().record(node_.executor().now(), obs::SpanKind::kCliqueElection,
+                        obs::trace().intern(node_.self().to_string()), 1, 1);
+  }
   View v;
   v.generation = view_.generation + 1;
   v.leader = node_.self();
@@ -122,6 +142,7 @@ void CliqueMember::loss_check() {
 
 void CliqueMember::start_token_round() {
   ++round_;
+  obs::registry().counter(obs::names::kCliqueRounds).inc();
   EW_DEBUG << node_.self().to_string() << ": token round " << round_ << " gen "
            << view_.generation << " size " << view_.members.size();
   Token token;
@@ -202,6 +223,14 @@ void CliqueMember::on_token(const IncomingMessage& msg, const Responder& resp) {
   }
   resp.ok();
   ++tokens_seen_;
+  obs::registry().counter(obs::names::kCliqueTokens).inc();
+  if (obs::trace().enabled()) {
+    obs::trace().record(node_.executor().now(),
+                        obs::SpanKind::kCliqueTokenPass,
+                        obs::trace().intern(node_.self().to_string()),
+                        static_cast<std::int64_t>(token->round),
+                        static_cast<std::int64_t>(token->view.members.size()));
+  }
   EW_DEBUG << node_.self().to_string() << ": got token round " << token->round
            << " gen " << token->view.generation << " from "
            << token->view.leader.to_string() << " visited " << token->visited.size();

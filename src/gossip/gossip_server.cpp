@@ -1,6 +1,8 @@
 #include "gossip/gossip_server.hpp"
 
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ew::gossip {
 
@@ -100,7 +102,10 @@ Digest GossipServer::make_digest() const {
 }
 
 void GossipServer::absorb(const StateBlob& blob) {
-  if (store_.merge(blob)) ++states_absorbed_;
+  if (store_.merge(blob)) {
+    ++states_absorbed_;
+    obs::registry().counter(obs::names::kGossipStatesAbsorbed).inc();
+  }
 }
 
 void GossipServer::on_digest(const IncomingMessage& msg, const Responder& resp) {
@@ -138,6 +143,11 @@ void GossipServer::poll_component(const Endpoint& component, MsgType type) {
   Writer w;
   w.u16(type);
   ++polls_sent_;
+  obs::registry().counter(obs::names::kGossipPolls).inc();
+  if (obs::trace().enabled()) {
+    obs::trace().record(node_.executor().now(), obs::SpanKind::kGossipPoll,
+                        obs::trace().intern(component.to_string()), type);
+  }
   // State polls are read-only: retry freely, and hedge once the tag has RTT
   // history so one slow component doesn't stall the whole poll round.
   CallOptions poll;
@@ -171,6 +181,7 @@ void GossipServer::poll_component(const Endpoint& component, MsgType type) {
           Writer upd;
           write_state_blob(upd, *fresh);
           ++updates_pushed_;
+          obs::registry().counter(obs::names::kGossipUpdatesPushed).inc();
           // Updates carry versioned blobs, so duplicates are no-ops at the
           // receiver and a retry is safe.
           CallOptions push;
@@ -191,6 +202,15 @@ void GossipServer::peer_sync_tick() {
   }
   if (!peers.empty()) {
     const Endpoint peer = peers[peer_index_++ % peers.size()];
+    obs::registry().counter(obs::names::kGossipSyncRounds).inc();
+    if (obs::trace().enabled()) {
+      obs::trace().record(node_.executor().now(),
+                          obs::SpanKind::kGossipSyncRound,
+                          obs::trace().intern(peer.to_string()),
+                          static_cast<std::int64_t>(registry_.size()),
+                          static_cast<std::int64_t>((peer_index_ - 1) %
+                                                    peers.size()));
+    }
     // Digest exchange is an idempotent anti-entropy merge; the next tick
     // rotates to another peer anyway, so two attempts suffice.
     CallOptions digest;

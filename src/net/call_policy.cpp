@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace ew {
 
 namespace {
@@ -95,9 +97,82 @@ CircuitBreaker& CircuitBreakerBank::at(const Endpoint& to) {
   return by_dest_.try_emplace(to.to_string(), opts_).first->second;
 }
 
+AggregateCallStats::AggregateCallStats()
+    : owned_(std::make_unique<obs::Registry>()) {
+  bind(*owned_);
+}
+
+AggregateCallStats::AggregateCallStats(obs::Registry& reg) { bind(reg); }
+
+void AggregateCallStats::bind(obs::Registry& reg) {
+  namespace n = obs::names;
+  calls_started_ = &reg.counter(n::kNetCallsStarted);
+  calls_ok_ = &reg.counter(n::kNetCallsOk);
+  calls_failed_ = &reg.counter(n::kNetCallsFailed);
+  attempts_ = &reg.counter(n::kNetAttempts);
+  retries_ = &reg.counter(n::kNetRetries);
+  hedges_ = &reg.counter(n::kNetHedges);
+  hedge_wins_ = &reg.counter(n::kNetHedgeWins);
+  hedge_losses_ = &reg.counter(n::kNetHedgeLosses);
+  timeouts_fired_ = &reg.counter(n::kNetTimeoutsFired);
+  late_responses_ = &reg.counter(n::kNetLateResponses);
+  late_rescues_ = &reg.counter(n::kNetLateRescues);
+  duplicate_responses_ = &reg.counter(n::kNetDuplicateResponses);
+  short_circuits_ = &reg.counter(n::kNetShortCircuits);
+  breaker_opened_ = &reg.counter(n::kNetBreakerOpened);
+  call_latency_us_ = &reg.histogram(n::kNetCallLatencyUs);
+  timeout_wait_us_ = &reg.histogram(n::kNetTimeoutWaitUs);
+}
+
+void AggregateCallStats::record_breaker_transition(int /*from*/, int to) {
+  if (to == static_cast<int>(CircuitBreaker::State::kOpen)) {
+    breaker_opened_->inc();
+  }
+}
+
+const CallCounters& AggregateCallStats::counters() const {
+  cache_.calls_started = calls_started_->value();
+  cache_.calls_ok = calls_ok_->value();
+  cache_.calls_failed = calls_failed_->value();
+  cache_.attempts = attempts_->value();
+  cache_.retries = retries_->value();
+  cache_.hedges = hedges_->value();
+  cache_.hedge_wins = hedge_wins_->value();
+  cache_.hedge_losses = hedge_losses_->value();
+  cache_.timeouts_fired = timeouts_fired_->value();
+  cache_.late_responses = late_responses_->value();
+  cache_.late_rescues = late_rescues_->value();
+  cache_.duplicate_responses = duplicate_responses_->value();
+  cache_.short_circuits = short_circuits_->value();
+  cache_.breaker_opened = breaker_opened_->value();
+  cache_.timeout_wait_us = timeout_wait_us_->sum();
+  cache_.call_latency_us = call_latency_us_->sum();
+  return cache_;
+}
+
+void AggregateCallStats::reset() {
+  calls_started_->reset();
+  calls_ok_->reset();
+  calls_failed_->reset();
+  attempts_->reset();
+  retries_->reset();
+  hedges_->reset();
+  hedge_wins_->reset();
+  hedge_losses_->reset();
+  timeouts_fired_->reset();
+  late_responses_->reset();
+  late_rescues_->reset();
+  duplicate_responses_->reset();
+  short_circuits_->reset();
+  breaker_opened_->reset();
+  call_latency_us_->reset();
+  timeout_wait_us_->reset();
+}
+
 AggregateCallStats& process_call_stats() {
-  static AggregateCallStats stats;
-  return stats;
+  static AggregateCallStats* stats =
+      new AggregateCallStats(obs::registry());
+  return *stats;
 }
 
 CallStatsSink& CallPolicy::stats() const {
@@ -127,15 +202,44 @@ Duration CallPolicy::hedge_delay(const EventTag& tag,
   return std::max(q, hedge.min_delay);
 }
 
+namespace {
+
+// Surface a breaker edge to the stats sink and, when tracing, the span
+// ring. The address is interned only on an actual transition, so the
+// steady-state path never allocates.
+void note_breaker_edge(CallStatsSink& sink, const Endpoint& to, TimePoint now,
+                       CircuitBreaker::State before,
+                       CircuitBreaker::State after) {
+  if (before == after) return;
+  sink.record_breaker_transition(static_cast<int>(before),
+                                 static_cast<int>(after));
+  auto& tr = obs::trace();
+  if (tr.enabled()) {
+    tr.record(now, obs::SpanKind::kBreakerTransition, tr.intern(to.to_string()),
+              static_cast<int>(before), static_cast<int>(after));
+  }
+}
+
+}  // namespace
+
 bool CallPolicy::admit(const Endpoint& to, TimePoint now) {
   if (!opts_.breaker_enabled) return true;
-  return breakers_.at(to).allow(now);
+  CircuitBreaker& b = breakers_.at(to);
+  const CircuitBreaker::State before = b.peek_state();
+  const bool ok = b.allow(now);  // may roll open -> half-open
+  note_breaker_edge(stats(), to, now, before, b.peek_state());
+  return ok;
 }
 
 void CallPolicy::on_attempt_result(const EventTag& tag, const Endpoint& to,
                                    TimePoint now, Duration rtt, bool ok) {
   timeouts_.on_result(tag, rtt, ok);
-  if (opts_.breaker_enabled) breakers_.at(to).on_result(now, ok);
+  if (opts_.breaker_enabled) {
+    CircuitBreaker& b = breakers_.at(to);
+    const CircuitBreaker::State before = b.peek_state();
+    b.on_result(now, ok);  // rolls, then applies the outcome
+    note_breaker_edge(stats(), to, now, before, b.peek_state());
+  }
 }
 
 }  // namespace ew

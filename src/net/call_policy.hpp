@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -29,6 +30,7 @@
 #include "common/result.hpp"
 #include "forecast/timeout.hpp"
 #include "net/endpoint.hpp"
+#include "obs/registry.hpp"
 
 namespace ew {
 
@@ -149,10 +151,17 @@ class CallStatsSink {
   /// A call was shed without a network attempt because the destination's
   /// circuit breaker was open.
   virtual void record_short_circuit() {}
+  /// A destination's circuit breaker changed state. `from`/`to` are
+  /// CircuitBreaker::State values cast to int.
+  virtual void record_breaker_transition(int /*from*/, int /*to*/) {}
 };
 
 /// Aggregate counters, kept deliberately close to the old GlobalStats so
 /// bench/ablation_timeouts and the scenario stability metrics carry over.
+///
+/// DEPRECATED as a storage format (kept one PR as a read shim, DESIGN.md
+/// §8): the truth now lives in obs::Registry instruments; counters() on
+/// AggregateCallStats materialises this struct from them.
 struct CallCounters {
   std::uint64_t calls_started = 0;
   std::uint64_t calls_ok = 0;
@@ -167,48 +176,84 @@ struct CallCounters {
   std::uint64_t late_rescues = 0;       // ...that still completed the call
   std::uint64_t duplicate_responses = 0;
   std::uint64_t short_circuits = 0;     // calls shed by an open breaker
+  std::uint64_t breaker_opened = 0;     // closed/half-open -> open edges
   std::uint64_t timeout_wait_us = 0;    // total time spent in fired timers
   std::uint64_t call_latency_us = 0;    // summed over completed calls
 };
 
-/// Default sink: sums everything into a CallCounters.
+/// Default sink: a registry-backed adapter. Every record_* lands in named
+/// obs instruments (net.calls.started, net.attempts, net.call.latency_us,
+/// ... — DESIGN.md §8), so the call layer shows up in obs::snapshot_json()
+/// next to gossip and scheduler series instead of in a private struct.
+///
+/// Default-constructed sinks own a private Registry — an injected per-bench
+/// sink stays isolated, exactly like the old struct-of-ints. Binding an
+/// external registry (process_call_stats() binds obs::registry()) shares
+/// the instruments with the rest of the process.
 class AggregateCallStats final : public CallStatsSink {
  public:
-  void record_call_start() override { ++c_.calls_started; }
+  AggregateCallStats();
+  explicit AggregateCallStats(obs::Registry& reg);
+
+  void record_call_start() override { calls_started_->inc(); }
   void record_call_end(bool ok, Duration latency) override {
-    ++(ok ? c_.calls_ok : c_.calls_failed);
-    c_.call_latency_us += static_cast<std::uint64_t>(latency);
+    (ok ? calls_ok_ : calls_failed_)->inc();
+    call_latency_us_->record(static_cast<std::uint64_t>(latency));
   }
   void record_attempt(bool retry, bool hedge) override {
-    ++c_.attempts;
-    if (retry) ++c_.retries;
-    if (hedge) ++c_.hedges;
+    attempts_->inc();
+    if (retry) retries_->inc();
+    if (hedge) hedges_->inc();
   }
   void record_timeout(Duration timeout) override {
-    ++c_.timeouts_fired;
-    c_.timeout_wait_us += static_cast<std::uint64_t>(timeout);
+    timeouts_fired_->inc();
+    timeout_wait_us_->record(static_cast<std::uint64_t>(timeout));
   }
   void record_late_response(bool rescued) override {
-    ++c_.late_responses;
-    if (rescued) ++c_.late_rescues;
+    late_responses_->inc();
+    if (rescued) late_rescues_->inc();
   }
-  void record_duplicate_response() override { ++c_.duplicate_responses; }
+  void record_duplicate_response() override { duplicate_responses_->inc(); }
   void record_hedge_result(bool hedge_won) override {
-    ++(hedge_won ? c_.hedge_wins : c_.hedge_losses);
+    (hedge_won ? hedge_wins_ : hedge_losses_)->inc();
   }
-  void record_short_circuit() override { ++c_.short_circuits; }
+  void record_short_circuit() override { short_circuits_->inc(); }
+  void record_breaker_transition(int /*from*/, int to) override;
 
-  [[nodiscard]] const CallCounters& counters() const { return c_; }
-  void reset() { c_ = CallCounters{}; }
+  /// DEPRECATED read shim (removed next PR): materialises the old struct
+  /// from the registry instruments. Prefer reading the instruments, or
+  /// obs::snapshot_json(), directly.
+  [[nodiscard]] const CallCounters& counters() const;
+  /// Zero this sink's instruments (shared registry: only the net.* set).
+  void reset();
 
  private:
-  CallCounters c_;
+  void bind(obs::Registry& reg);
+
+  std::unique_ptr<obs::Registry> owned_;  // null when bound to a shared one
+  obs::Counter* calls_started_ = nullptr;
+  obs::Counter* calls_ok_ = nullptr;
+  obs::Counter* calls_failed_ = nullptr;
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* hedges_ = nullptr;
+  obs::Counter* hedge_wins_ = nullptr;
+  obs::Counter* hedge_losses_ = nullptr;
+  obs::Counter* timeouts_fired_ = nullptr;
+  obs::Counter* late_responses_ = nullptr;
+  obs::Counter* late_rescues_ = nullptr;
+  obs::Counter* duplicate_responses_ = nullptr;
+  obs::Counter* short_circuits_ = nullptr;
+  obs::Counter* breaker_opened_ = nullptr;
+  obs::Histogram* call_latency_us_ = nullptr;
+  obs::Histogram* timeout_wait_us_ = nullptr;
+  mutable CallCounters cache_;  // backing store for the counters() shim
 };
 
-/// The process-wide default sink every CallPolicy starts with. Scenario
-/// benches read and reset it between experiment arms, exactly like the old
-/// Node::reset_global_stats(). Not thread-safe by design (single-threaded
-/// simulator; threaded deployments inject per-node sinks).
+/// The process-wide default sink every CallPolicy starts with, bound to
+/// obs::registry() — so the call layer's counters appear in every
+/// obs::snapshot_json(). Scenario benches read and reset it between
+/// experiment arms, exactly like the old Node::reset_global_stats().
 AggregateCallStats& process_call_stats();
 
 /// Per-destination failure gate with the classic three states. Counts
@@ -231,6 +276,10 @@ class CircuitBreaker {
     roll(now);
     return state_;
   }
+
+  /// Last-settled state, without rolling the clock forward. Lets observers
+  /// diff states around an operation to detect transitions.
+  [[nodiscard]] State peek_state() const { return state_; }
 
   /// May an attempt go out now? Half-open admissions are counted as probes.
   [[nodiscard]] bool allow(TimePoint now);

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace ew {
 
@@ -13,6 +14,13 @@ namespace {
 // Orphaned-seq memory: enough to cover every plausible in-flight duplicate,
 // small enough that a degenerate run cannot bloat the node.
 constexpr std::size_t kCancelledSeqCap = 4096;
+
+// Spans join against forecast streams through the same dynamic-benchmarking
+// event tag the timeout discovery uses. Called only when tracing is on, so
+// the tag string is built (and interned) only then.
+std::uint32_t call_trace_tag(const EventTag& tag) {
+  return obs::trace().intern(tag.to_string());
+}
 }  // namespace
 
 void Responder::fail(Err code, const std::string& message) const {
@@ -139,6 +147,10 @@ void Node::start_attempt(std::uint64_t call_id, Bytes payload, bool is_hedge) {
   ++c.in_flight;
   c.seqs.push_back(seq);
   policy_.stats().record_attempt(!is_hedge && c.attempts_started > 1, is_hedge);
+  if (obs::trace().enabled()) {
+    obs::trace().record(now, obs::SpanKind::kCallAttempt, call_trace_tag(c.tag),
+                        c.attempts_started, is_hedge ? 1 : 0);
+  }
 
   Attempt a;
   a.call_id = call_id;
@@ -175,6 +187,10 @@ void Node::maybe_schedule_hedge(std::uint64_t call_id) {
   // No RTT history, or the tail quantile is so close to the time-out that a
   // retry would fire anyway: don't pay for a duplicate.
   if (delay <= 0 || delay >= c.first_attempt_timeout) return;
+  if (obs::trace().enabled()) {
+    obs::trace().record(exec_.now(), obs::SpanKind::kCallHedge,
+                        call_trace_tag(c.tag), delay);
+  }
   c.hedge_timer = exec_.schedule(delay, [this, call_id] {
     auto it = calls_.find(call_id);
     if (it == calls_.end()) return;
@@ -231,6 +247,10 @@ bool Node::schedule_retry(std::uint64_t call_id) {
   // A retry that cannot start before the deadline is pointless; fail now
   // with the attempt's error instead of burning the remaining budget.
   if (c.deadline_at > 0 && now + backoff >= c.deadline_at) return false;
+  if (obs::trace().enabled()) {
+    obs::trace().record(now, obs::SpanKind::kCallRetry, call_trace_tag(c.tag),
+                        c.attempts_started + 1, backoff);
+  }
   c.retry_timer = exec_.schedule(backoff, [this, call_id] {
     auto it = calls_.find(call_id);
     if (it == calls_.end()) return;

@@ -438,7 +438,7 @@ TEST(ErrorTracker, MaeMse) {
 
 TEST(Log, SinkReceivesAtOrAboveLevel) {
   std::vector<std::string> lines;
-  Log::set_sink([&](LogLevel, const std::string& m) { lines.push_back(m); });
+  Log::set_sink([&](const Log::Record& rec) { lines.push_back(rec.message); });
   Log::set_level(LogLevel::kWarn);
   EW_DEBUG << "hidden";
   EW_WARN << "shown " << 42;
@@ -447,6 +447,24 @@ TEST(Log, SinkReceivesAtOrAboveLevel) {
   Log::set_level(LogLevel::kWarn);
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "shown 42");
+}
+
+TEST(Log, StructuredRecordCarriesComponentAndTag) {
+  std::vector<Log::Record> records;
+  Log::set_sink([&](const Log::Record& rec) { records.push_back(rec); });
+  Log::set_level(LogLevel::kInfo);
+  EW_LOG_C(LogLevel::kWarn, "gossip") << "poll " << 3 << " failed";
+  Log::write(Log::Record{LogLevel::kInfo, "sched", "dispatch", "ep/0x0201"});
+  Log::write(LogLevel::kInfo, "untagged");
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kWarn);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].component, "gossip");
+  EXPECT_EQ(records[0].message, "poll 3 failed");
+  EXPECT_EQ(records[0].level, LogLevel::kWarn);
+  EXPECT_EQ(records[1].event_tag, "ep/0x0201");
+  EXPECT_EQ(records[2].component, "");
+  EXPECT_EQ(records[2].message, "untagged");
 }
 
 }  // namespace
