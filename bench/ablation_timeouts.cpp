@@ -66,15 +66,16 @@ Row run_config(bool adaptive, Duration static_timeout, const std::string& label)
   o.static_timeout = static_timeout;
   app::Sc98Scenario scenario(o);
   const app::ScenarioResults res = scenario.run();
-  const CallCounters stats = process_call_stats().counters();
+  obs::Registry& reg = process_call_stats().registry();
   Row row;
   row.label = label;
-  row.timeouts = stats.timeouts_fired;
-  row.spurious = stats.late_responses;
+  row.timeouts = reg.counter(obs::names::kNetTimeoutsFired).value();
+  row.spurious = reg.counter(obs::names::kNetLateResponses).value();
   row.mean_wait_s =
-      stats.timeouts_fired
-          ? to_seconds(static_cast<Duration>(stats.timeout_wait_us)) /
-                static_cast<double>(stats.timeouts_fired)
+      row.timeouts
+          ? to_seconds(static_cast<Duration>(
+                reg.histogram(obs::names::kNetTimeoutWaitUs).sum())) /
+                static_cast<double>(row.timeouts)
           : 0.0;
   row.total_ops = static_cast<double>(res.total_ops);
   return row;
@@ -203,12 +204,13 @@ PolicyArm run_policy_arm(const std::string& label, const CallOptions& proto,
   arm.packets_per_call =
       static_cast<double>(transport.packets_sent() - packets_before) /
       static_cast<double>(calls);
-  const CallCounters& c = stats.counters();
+  obs::Registry& sreg = stats.registry();
   arm.attempts_per_call =
-      static_cast<double>(c.attempts) / static_cast<double>(calls);
-  arm.hedges = c.hedges;
-  arm.hedge_wins = c.hedge_wins;
-  arm.retries = c.retries;
+      static_cast<double>(sreg.counter(obs::names::kNetAttempts).value()) /
+      static_cast<double>(calls);
+  arm.hedges = sreg.counter(obs::names::kNetHedges).value();
+  arm.hedge_wins = sreg.counter(obs::names::kNetHedgeWins).value();
+  arm.retries = sreg.counter(obs::names::kNetRetries).value();
   client.call_policy().set_stats_sink(nullptr);
   client.stop();
   server.stop();

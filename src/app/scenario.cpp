@@ -115,18 +115,119 @@ void Sc98Scenario::stop_scheduler(SchedulerUnit& unit) {
   unit.node.reset();
 }
 
-void Sc98Scenario::build_services() {
+void Sc98Scenario::crash_scheduler(SchedulerUnit& unit) {
+  harvest_scheduler(unit);
+  // Components stop first (their running_ guards silence the failing
+  // callbacks), then the node detaches and fails every outstanding call
+  // with kPeerDown — a crash, not a clean shutdown.
+  if (unit.sync) unit.sync->stop();
+  if (unit.server) unit.server->stop();
+  if (unit.node) unit.node->crash();
+  unit.sync.reset();
+  unit.server.reset();
+  unit.node.reset();
+}
+
+void Sc98Scenario::build_chaos() {
+  if (opts_.chaos.events.empty()) return;
+  chaos_.emplace(events_, network_);
+  for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+    auto* unit = schedulers_[i].get();
+    chaos_->register_process(
+        unit->host,
+        sim::ChaosEngine::Process{
+            [this, unit] { crash_scheduler(*unit); },
+            [this, unit, i] {
+              // A restarted scheduler rebuilds soft state from client
+              // re-registrations and re-imports the checkpointed frontier.
+              start_scheduler(*unit, static_cast<std::uint64_t>(i));
+            }});
+  }
+  for (std::size_t i = 0; i < gossips_.size(); ++i) {
+    auto* unit = gossips_[i].get();
+    const std::string host = "gossip-" + std::to_string(i);
+    chaos_->register_process(
+        host,
+        sim::ChaosEngine::Process{
+            [unit] {
+              if (unit->server) unit->server->stop();
+              if (unit->node) unit->node->crash();
+              unit->server.reset();
+              unit->node.reset();
+            },
+            [this, unit, host] {
+              unit->node.emplace(events_, transport_,
+                                 Endpoint{host, kGossipPort});
+              unit->node->start();
+              unit->server.emplace(*unit->node, comparators_,
+                                   gossip_endpoints());
+              // start() announces the member to its well-known peers, so
+              // the restarted gossip rejoins the clique instead of wedging
+              // as a stale singleton; components re-register on their next
+              // lease renewal.
+              unit->server->start();
+            }});
+  }
+  // The control site's logging + state services crash and restart as one
+  // process; the state manager reloads from state_storage_dir on restart.
+  chaos_->register_process(
+      kControlHost,
+      sim::ChaosEngine::Process{
+          [this] {
+            if (state_) state_->stop();
+            if (logging_) logging_->stop();
+            if (state_node_) state_node_->crash();
+            if (logging_node_) logging_node_->crash();
+            state_.reset();
+            state_node_.reset();
+            logging_.reset();
+            logging_node_.reset();
+          },
+          [this] { start_control_services(); }});
+  chaos_->arm(opts_.chaos);
+}
+
+sim::ChaosEngine* Sc98Scenario::chaos_engine() {
+  return chaos_ ? &*chaos_ : nullptr;
+}
+
+core::SchedulerServer* Sc98Scenario::scheduler_server(int i) {
+  auto& unit = *schedulers_.at(static_cast<std::size_t>(i));
+  return unit.server ? &*unit.server : nullptr;
+}
+
+gossip::GossipServer* Sc98Scenario::gossip_server(int i) {
+  auto& unit = *gossips_.at(static_cast<std::size_t>(i));
+  return unit.server ? &*unit.server : nullptr;
+}
+
+core::PersistentStateManager* Sc98Scenario::state_manager() {
+  return state_ ? &*state_ : nullptr;
+}
+
+void Sc98Scenario::start_control_services() {
   logging_node_.emplace(events_, transport_, Endpoint{kControlHost, kLoggingPort});
   logging_node_->start();
   logging_.emplace(*logging_node_);
   logging_->start();
+  if (metrics_) {
+    logging_->set_sink([this](const core::LogRecord& rec) { metrics_->on_log(rec); });
+  }
 
   state_node_.emplace(events_, transport_, Endpoint{kControlHost, kStatePort});
   state_node_->start();
-  state_.emplace(*state_node_);
+  core::PersistentStateManager::Options sopts;
+  sopts.storage_dir = opts_.state_storage_dir;
+  state_.emplace(*state_node_, sopts);
   state_->register_validator("ramsey/best/",
                              core::PersistentStateManager::ramsey_validator());
+  // With a storage_dir configured, start() reloads every intact object that
+  // survived on disk — the Section 3.1.2 promise the chaos tests exercise.
   state_->start();
+}
+
+void Sc98Scenario::build_services() {
+  start_control_services();
 
   for (int i = 0; i < opts_.num_gossips; ++i) {
     auto unit = std::make_unique<GossipUnit>();
@@ -351,6 +452,7 @@ ScenarioResults Sc98Scenario::run() {
   logging_->set_sink([this](const core::LogRecord& rec) { metrics_->on_log(rec); });
   schedule_spike();
   schedule_host_sampling();
+  build_chaos();
 
   events_.run_until(opts_.warmup + opts_.record);
 
@@ -363,8 +465,9 @@ ScenarioResults Sc98Scenario::run() {
     out.infra_rate[static_cast<std::size_t>(i)] = metrics_->infra_rate(infra);
     out.infra_hosts[static_cast<std::size_t>(i)] = metrics_->infra_hosts(infra);
   }
-  out.total_ops = logging_->total_ops();
-  out.log_records = logging_->records_received();
+  // Under chaos the control services may be down when the clock stops.
+  out.total_ops = logging_ ? logging_->total_ops() : 0;
+  out.log_records = logging_ ? logging_->records_received() : 0;
   for (auto& s : schedulers_) {
     harvest_scheduler(*s);
     out.reports += s->reports_total;

@@ -36,6 +36,7 @@
 #include "infra/netsolve.hpp"
 #include "infra/nt.hpp"
 #include "infra/unix.hpp"
+#include "sim/chaos.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network_model.hpp"
 #include "sim/sim_transport.hpp"
@@ -77,6 +78,18 @@ struct ScenarioOptions {
   std::array<int, core::kInfraCount> host_count_override{};
   /// Scale every pool's host count (quick small runs for tests).
   double fleet_scale = 1.0;
+
+  /// Scripted fault injection: an empty plan disables chaos. With a
+  /// non-empty plan the scenario registers crash/restart handles for every
+  /// server role (each scheduler host, each gossip host, and the control
+  /// site's logging + state services as one process) and arms the plan
+  /// before the clock starts. Plan targets are scenario host names
+  /// ("sched-0", "gossip-1", "sdsc-control") or site pairs for link faults.
+  sim::FaultPlan chaos;
+  /// On-disk store for the persistent state manager; required for its
+  /// contents to survive a chaos crash-restart of the control site. Empty
+  /// keeps the store memory-only.
+  std::string state_storage_dir;
 };
 
 struct ScenarioResults {
@@ -115,6 +128,12 @@ class Sc98Scenario {
       const {
     return adapters_;
   }
+  /// Chaos internals for the chaos tests: null before run() or when the
+  /// options carried no plan / the role is currently crashed.
+  [[nodiscard]] sim::ChaosEngine* chaos_engine();
+  [[nodiscard]] core::SchedulerServer* scheduler_server(int i);
+  [[nodiscard]] gossip::GossipServer* gossip_server(int i);
+  [[nodiscard]] core::PersistentStateManager* state_manager();
 
  private:
   struct SchedulerUnit {
@@ -131,9 +150,12 @@ class Sc98Scenario {
   void build_network();
   void build_services();
   void build_adapters();
+  void build_chaos();
   void start_scheduler(SchedulerUnit& unit, std::uint64_t seed_tag);
   void harvest_scheduler(SchedulerUnit& unit);
   void stop_scheduler(SchedulerUnit& unit);
+  void crash_scheduler(SchedulerUnit& unit);
+  void start_control_services();
   void schedule_spike();
   void schedule_host_sampling();
   core::SchedulerServer::Options scheduler_options(int index) const;
@@ -163,6 +185,7 @@ class Sc98Scenario {
     std::optional<gossip::GossipServer> server;
   };
   std::vector<std::unique_ptr<GossipUnit>> gossips_;
+  std::optional<sim::ChaosEngine> chaos_;
   // Figure-1 auxiliary services: NWS monitoring stations and the
   // volatile-but-replicated server directory, both on the §6 framework.
   std::vector<std::unique_ptr<core::ServiceFramework>> aux_frameworks_;

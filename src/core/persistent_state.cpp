@@ -1,8 +1,11 @@
 #include "core/persistent_state.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <vector>
 
 #include "common/log.hpp"
 #include "ramsey/clique.hpp"
@@ -130,28 +133,64 @@ void PersistentStateManager::load_from_disk() {
   std::error_code ec;
   if (!fs::exists(opts_.storage_dir, ec)) return;
   loading_ = true;
-  for (const auto& entry : fs::directory_iterator(opts_.storage_dir, ec)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".obj") continue;
-    const auto name = hex_decode(entry.path().stem().string());
-    if (!name) {
-      EW_WARN << "persistent state: skipping undecodable file "
-              << entry.path().string();
-      continue;
-    }
-    std::ifstream in(entry.path(), std::ios::binary);
+  std::set<std::string> recovered_names;
+  // Recovered objects pass through the same validation + freshness gate as
+  // network stores: a corrupted, truncated, or tampered file is refused, not
+  // trusted because it came from "our" disk.
+  auto try_recover = [&](const fs::path& path, const std::string& name) {
+    std::ifstream in(path, std::ios::binary);
     Bytes blob((std::istreambuf_iterator<char>(in)),
                std::istreambuf_iterator<char>());
-    // Recovered objects pass through the same validation + freshness gate
-    // as network stores: a corrupted or tampered file is refused, not
-    // trusted because it came from "our" disk.
     const auto accepted_before = accepted_;
-    if (Status s = store(*name, blob); !s.ok()) {
-      EW_WARN << "persistent state: rejecting recovered object '" << *name
-              << "': " << s.to_string();
+    if (Status s = store(name, blob); !s.ok()) {
+      EW_WARN << "persistent state: rejecting recovered object '" << name
+              << "' from " << path.string() << ": " << s.to_string();
+      return false;
+    }
+    if (accepted_ > accepted_before) {
+      recovered_names.insert(name);
+      return true;
+    }
+    return false;
+  };
+  // Final images first, then orphaned .obj.tmp files left by a crash
+  // mid-write. A torn final with an intact tmp (or vice versa) therefore
+  // recovers whichever candidate validates, and when both are intact the
+  // freshness gate keeps the newest version regardless of which file held it.
+  std::vector<fs::path> finals;
+  std::vector<fs::path> tmps;
+  for (const auto& entry : fs::directory_iterator(opts_.storage_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto& path = entry.path();
+    if (path.extension() == ".obj") {
+      finals.push_back(path);
+    } else if (path.extension() == ".tmp" &&
+               fs::path(path.stem()).extension() == ".obj") {
+      tmps.push_back(path);
+    }
+  }
+  std::sort(finals.begin(), finals.end());
+  std::sort(tmps.begin(), tmps.end());
+  for (const auto& path : finals) {
+    const auto name = hex_decode(path.stem().string());
+    if (!name) {
+      EW_WARN << "persistent state: skipping undecodable file " << path.string();
       continue;
     }
-    if (accepted_ > accepted_before) ++recovered_;
+    try_recover(path, *name);
   }
+  for (const auto& path : tmps) {
+    const auto name = hex_decode(fs::path(path.stem()).stem().string());
+    if (name && try_recover(path, *name)) {
+      // The tmp held the newest intact copy; promote it to the final image
+      // so the next restart does not depend on the orphan again.
+      write_through(*name, objects_[*name]);
+    } else if (!name) {
+      EW_WARN << "persistent state: skipping undecodable file " << path.string();
+    }
+    fs::remove(path, ec);  // consumed (or garbage) either way
+  }
+  recovered_ += recovered_names.size();
   loading_ = false;
 }
 

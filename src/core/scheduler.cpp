@@ -45,6 +45,22 @@ std::string SchedulerServer::checkpoint_name() const {
   return "sched/frontier/" + node_.self().to_string();
 }
 
+void SchedulerServer::note_unit_issued(std::uint64_t unit_id) {
+  if (unit_id == 0 || !obs::trace().enabled()) return;
+  obs::trace().record(node_.executor().now(), obs::SpanKind::kSchedUnitIssued,
+                      obs::trace().intern(node_.self().to_string()),
+                      static_cast<std::int64_t>(unit_id));
+}
+
+void SchedulerServer::note_unit_reclaimed(std::uint64_t unit_id,
+                                          std::int64_t reason) {
+  if (unit_id == 0 || !obs::trace().enabled()) return;
+  obs::trace().record(node_.executor().now(),
+                      obs::SpanKind::kSchedUnitReclaimed,
+                      obs::trace().intern(node_.self().to_string()),
+                      static_cast<std::int64_t>(unit_id), reason);
+}
+
 void SchedulerServer::checkpoint_tick() {
   if (!running_) return;
   checkpoint_timer_ = node_.executor().schedule(opts_.checkpoint_period,
@@ -98,12 +114,14 @@ void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& r
   auto it = clients_.find(hello->client);
   if (it != clients_.end() && it->second.unit_id != 0) {
     pool_.release(it->second.unit_id);
+    note_unit_reclaimed(it->second.unit_id, obs::reclaim::kReleased);
   }
   ClientInfo info;
   info.hello = std::move(*hello);
   info.last_report = node_.executor().now();
   const ramsey::WorkSpec spec = pool_.acquire();
   info.unit_id = spec.unit_id;
+  note_unit_issued(spec.unit_id);
   clients_[info.hello.client] = std::move(info);
   Directive d;
   d.spec = spec;
@@ -275,6 +293,7 @@ void SchedulerServer::sweep_tick() {
       // Its unit goes back to the pool with whatever coloring it last
       // reported — the work, unlike the process, survives.
       pool_.release(it->second.unit_id);
+      note_unit_reclaimed(it->second.unit_id, obs::reclaim::kPresumedDead);
       ++presumed_dead_;
       obs::registry().counter(obs::names::kSchedPresumedDead).inc();
       it = clients_.erase(it);
@@ -322,12 +341,16 @@ void SchedulerServer::migrate_tick() {
     if (rit->second == slow_ep) continue;
     ClientInfo& fast = clients_.at(rit->second);
     pool_.release(unit);
+    note_unit_reclaimed(unit, obs::reclaim::kMigrated);
     auto spec = pool_.acquire_unit(unit);
     if (!spec) return;
+    note_unit_issued(unit);
     pool_.release(fast.unit_id);
+    note_unit_reclaimed(fast.unit_id, obs::reclaim::kMigrated);
     fast.pending = std::move(*spec);
     slow.pending = pool_.acquire();
     slow.unit_id = slow.pending->unit_id;
+    note_unit_issued(slow.unit_id);
     ++migrations_;
     obs::registry().counter(obs::names::kSchedMigrations).inc();
     if (obs::trace().enabled()) {

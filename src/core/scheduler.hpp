@@ -97,6 +97,8 @@ class SchedulerServer {
   void forward_log(const ClientInfo& info, const ramsey::WorkReport& rep);
   void store_counterexample(const ramsey::WorkReport& rep);
   void note_best(std::uint64_t energy, const Bytes& graph_blob, bool found);
+  void note_unit_issued(std::uint64_t unit_id);
+  void note_unit_reclaimed(std::uint64_t unit_id, std::int64_t reason);
   [[nodiscard]] Duration overdue_threshold(const ClientInfo& info) const;
   [[nodiscard]] ramsey::HeuristicKind choose_kind(std::uint64_t unit_id) const;
 

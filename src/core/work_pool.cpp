@@ -101,6 +101,14 @@ std::size_t WorkPool::idle_frontier_size() const {
   return n;
 }
 
+std::vector<std::uint64_t> WorkPool::assigned_units() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, u] : units_) {
+    if (u.assigned) out.push_back(id);
+  }
+  return out;
+}
+
 Bytes WorkPool::export_frontier() const {
   Writer w;
   std::uint32_t count = 0;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "ramsey/workunit.hpp"
 
@@ -54,6 +55,9 @@ class WorkPool {
   [[nodiscard]] std::optional<std::uint64_t> best_energy(std::uint64_t unit_id) const;
   [[nodiscard]] std::optional<ramsey::HeuristicKind> unit_kind(std::uint64_t unit_id) const;
   [[nodiscard]] std::size_t idle_frontier_size() const;
+  /// Unit ids currently assigned to some client — the chaos invariant
+  /// checker's notion of "legitimately still in flight" at trace end.
+  [[nodiscard]] std::vector<std::uint64_t> assigned_units() const;
   [[nodiscard]] std::size_t units_issued() const { return next_id_ - 1; }
   [[nodiscard]] const Options& options() const { return opts_; }
 

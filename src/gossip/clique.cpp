@@ -31,10 +31,38 @@ void CliqueMember::start() {
   view_.leader = node_.self();
   view_.members = {node_.self()};
   last_token_ = node_.executor().now();
+  note_view_change();
   for (auto& fn : listeners_) fn(view_);
   schedule_leader_tick();
   schedule_probe_tick();
   schedule_loss_check();
+  announce_join();
+}
+
+void CliqueMember::announce_join() {
+  // Announce ourselves to every well-known peer right away instead of
+  // waiting for the probe rotation: a crash-restarted member rejoins the
+  // clique in one round trip (the join response carries the peer's view,
+  // which consider_foreign_view adopts or merges with).
+  for (const auto& peer : well_known_) {
+    if (peer == node_.self()) continue;
+    Writer w;
+    write_endpoint(w, node_.self());
+    node_.call(peer, msgtype::kJoin, w.take(), hop_options(),
+               [this](Result<Bytes> r) {
+                 if (!running_ || !r.ok()) return;
+                 auto v = View::deserialize(*r);
+                 if (v) consider_foreign_view(*v);
+               });
+  }
+}
+
+void CliqueMember::note_view_change() {
+  if (!obs::trace().enabled()) return;
+  obs::trace().record(node_.executor().now(), obs::SpanKind::kCliqueViewChange,
+                      obs::trace().intern(node_.self().to_string()),
+                      static_cast<std::int64_t>(view_.generation),
+                      static_cast<std::int64_t>(view_.members.size()));
 }
 
 void CliqueMember::stop() {
@@ -75,6 +103,7 @@ void CliqueMember::install_view(View v) {
                             is_leader() ? 1 : 0);
       }
     }
+    note_view_change();
     for (auto& fn : listeners_) fn(view_);
   }
 }
@@ -96,6 +125,7 @@ void CliqueMember::become_singleton() {
   last_token_ = node_.executor().now();
   pending_joins_.clear();
   gen_floor_ = 0;
+  note_view_change();
   for (auto& fn : listeners_) fn(view_);
 }
 
@@ -349,7 +379,22 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
     if (m != node_.self()) ever_seen_.insert(m);
   }
   if (foreign.leader == view_.leader) {
-    if (foreign.newer_than(view_)) install_view(foreign);
+    if (foreign.newer_than(view_)) {
+      install_view(foreign);
+    } else if (view_.newer_than(foreign) && foreign.leader != node_.self()) {
+      // A stale fragment of our own clique — typically our leader, freshly
+      // crash-restarted as a generation-1 singleton. Neither side's merge
+      // path fires (the leaders are equal), so left alone the ring only
+      // heals after the token-loss timeout fragments everyone. Push our
+      // newer view at the stale leader; its same-leader branch adopts it
+      // and token rounds resume at the surviving generation.
+      node_.call(foreign.leader, msgtype::kProbe, view_.serialize(),
+                 hop_options(), [this](Result<Bytes> r) {
+                   if (!running_ || !r.ok()) return;
+                   auto v = View::deserialize(*r);
+                   if (v) consider_foreign_view(*v);
+                 });
+    }
     return;
   }
   if (merging_) return;  // one merge in flight is plenty

@@ -62,6 +62,8 @@ class CliqueMember {
  private:
   void install_view(View v);
   void become_singleton();
+  void announce_join();
+  void note_view_change();
   void schedule_leader_tick();
   void schedule_probe_tick();
   void schedule_loss_check();

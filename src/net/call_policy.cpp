@@ -106,6 +106,7 @@ AggregateCallStats::AggregateCallStats(obs::Registry& reg) { bind(reg); }
 
 void AggregateCallStats::bind(obs::Registry& reg) {
   namespace n = obs::names;
+  reg_ = &reg;
   calls_started_ = &reg.counter(n::kNetCallsStarted);
   calls_ok_ = &reg.counter(n::kNetCallsOk);
   calls_failed_ = &reg.counter(n::kNetCallsFailed);
@@ -128,26 +129,6 @@ void AggregateCallStats::record_breaker_transition(int /*from*/, int to) {
   if (to == static_cast<int>(CircuitBreaker::State::kOpen)) {
     breaker_opened_->inc();
   }
-}
-
-const CallCounters& AggregateCallStats::counters() const {
-  cache_.calls_started = calls_started_->value();
-  cache_.calls_ok = calls_ok_->value();
-  cache_.calls_failed = calls_failed_->value();
-  cache_.attempts = attempts_->value();
-  cache_.retries = retries_->value();
-  cache_.hedges = hedges_->value();
-  cache_.hedge_wins = hedge_wins_->value();
-  cache_.hedge_losses = hedge_losses_->value();
-  cache_.timeouts_fired = timeouts_fired_->value();
-  cache_.late_responses = late_responses_->value();
-  cache_.late_rescues = late_rescues_->value();
-  cache_.duplicate_responses = duplicate_responses_->value();
-  cache_.short_circuits = short_circuits_->value();
-  cache_.breaker_opened = breaker_opened_->value();
-  cache_.timeout_wait_us = timeout_wait_us_->sum();
-  cache_.call_latency_us = call_latency_us_->sum();
-  return cache_;
 }
 
 void AggregateCallStats::reset() {

@@ -45,6 +45,7 @@ namespace ew {
     case Err::kClosed:
     case Err::kRefused:
     case Err::kUnavailable:
+    case Err::kPeerDown:
       return true;
     default:
       return false;
@@ -156,31 +157,6 @@ class CallStatsSink {
   virtual void record_breaker_transition(int /*from*/, int /*to*/) {}
 };
 
-/// Aggregate counters, kept deliberately close to the old GlobalStats so
-/// bench/ablation_timeouts and the scenario stability metrics carry over.
-///
-/// DEPRECATED as a storage format (kept one PR as a read shim, DESIGN.md
-/// §8): the truth now lives in obs::Registry instruments; counters() on
-/// AggregateCallStats materialises this struct from them.
-struct CallCounters {
-  std::uint64_t calls_started = 0;
-  std::uint64_t calls_ok = 0;
-  std::uint64_t calls_failed = 0;
-  std::uint64_t attempts = 0;           // every packet that left the node
-  std::uint64_t retries = 0;            // attempts after the first
-  std::uint64_t hedges = 0;             // forecast-triggered duplicates
-  std::uint64_t hedge_wins = 0;
-  std::uint64_t hedge_losses = 0;
-  std::uint64_t timeouts_fired = 0;     // attempt timers that fired
-  std::uint64_t late_responses = 0;     // responses after their timer fired
-  std::uint64_t late_rescues = 0;       // ...that still completed the call
-  std::uint64_t duplicate_responses = 0;
-  std::uint64_t short_circuits = 0;     // calls shed by an open breaker
-  std::uint64_t breaker_opened = 0;     // closed/half-open -> open edges
-  std::uint64_t timeout_wait_us = 0;    // total time spent in fired timers
-  std::uint64_t call_latency_us = 0;    // summed over completed calls
-};
-
 /// Default sink: a registry-backed adapter. Every record_* lands in named
 /// obs instruments (net.calls.started, net.attempts, net.call.latency_us,
 /// ... — DESIGN.md §8), so the call layer shows up in obs::snapshot_json()
@@ -220,10 +196,11 @@ class AggregateCallStats final : public CallStatsSink {
   void record_short_circuit() override { short_circuits_->inc(); }
   void record_breaker_transition(int /*from*/, int to) override;
 
-  /// DEPRECATED read shim (removed next PR): materialises the old struct
-  /// from the registry instruments. Prefer reading the instruments, or
-  /// obs::snapshot_json(), directly.
-  [[nodiscard]] const CallCounters& counters() const;
+  /// The registry holding this sink's instruments — the owned private one
+  /// for default-constructed sinks, the shared one otherwise. Callers read
+  /// counter values by obs::names key (the old counters() struct shim is
+  /// gone).
+  [[nodiscard]] obs::Registry& registry() const { return *reg_; }
   /// Zero this sink's instruments (shared registry: only the net.* set).
   void reset();
 
@@ -231,6 +208,7 @@ class AggregateCallStats final : public CallStatsSink {
   void bind(obs::Registry& reg);
 
   std::unique_ptr<obs::Registry> owned_;  // null when bound to a shared one
+  obs::Registry* reg_ = nullptr;          // whichever registry bind() used
   obs::Counter* calls_started_ = nullptr;
   obs::Counter* calls_ok_ = nullptr;
   obs::Counter* calls_failed_ = nullptr;
@@ -247,7 +225,6 @@ class AggregateCallStats final : public CallStatsSink {
   obs::Counter* breaker_opened_ = nullptr;
   obs::Histogram* call_latency_us_ = nullptr;
   obs::Histogram* timeout_wait_us_ = nullptr;
-  mutable CallCounters cache_;  // backing store for the counters() shim
 };
 
 /// The process-wide default sink every CallPolicy starts with, bound to

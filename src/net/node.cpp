@@ -68,6 +68,26 @@ void Node::stop() {
   cancelled_order_.clear();
 }
 
+void Node::crash() {
+  if (!started_) return;
+  transport_.unbind(self_);
+  started_ = false;
+  fail_outstanding(Err::kPeerDown);
+}
+
+void Node::fail_outstanding(Err code) {
+  // complete_call erases from calls_ (and may enqueue follow-up work via
+  // the callbacks); snapshot the ids and walk them in a deterministic
+  // order so chaos replays are bit-identical.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(calls_.size());
+  for (const auto& [id, c] : calls_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    complete_call(id, Error{code, "process crashed"});
+  }
+}
+
 void Node::handle(MsgType type, ServerHandler handler) {
   handlers_[type] = std::move(handler);
 }

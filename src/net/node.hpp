@@ -77,6 +77,17 @@ class Node {
   /// happens during teardown, when callback owners may already be gone.
   void stop();
 
+  /// Crash-stop: detach from the transport, then fail every outstanding
+  /// call with Err::kPeerDown. Unlike stop(), callbacks DO fire — a chaos
+  /// kill runs while the owning components are still alive (though already
+  /// stopped, so their liveness guards make the callbacks no-ops), and the
+  /// paper's recovery paths key off seeing the failure rather than hanging.
+  void crash();
+
+  /// Complete every outstanding call with `code` right now, in call-id
+  /// order. Timers are cancelled; later responses count as late/duplicate.
+  void fail_outstanding(Err code);
+
   /// Register the handler for requests/one-ways of the given type.
   void handle(MsgType type, ServerHandler handler);
 

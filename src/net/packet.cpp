@@ -1,6 +1,40 @@
 #include "net/packet.hpp"
 
+#include "obs/registry.hpp"
+
 namespace ew {
+
+namespace wire {
+
+std::uint32_t checksum(MsgType type, std::uint64_t seq,
+                       std::span<const std::uint8_t> payload) {
+  // FNV-1a, 32-bit. Fields are hashed in their little-endian wire order so
+  // the sum equals "hash the frame bytes from `type` through the payload".
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 16777619u;
+  };
+  mix(static_cast<std::uint8_t>(type & 0xff));
+  mix(static_cast<std::uint8_t>(type >> 8));
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(seq >> (8 * i)));
+  for (std::uint8_t b : payload) mix(b);
+  return h;
+}
+
+}  // namespace wire
+
+namespace {
+
+// Resolved once: frame corruption is detected on the receive path of every
+// transport, so the counter lives in the process registry.
+obs::Counter& corrupt_frames_counter() {
+  static obs::Counter* c =
+      &obs::registry().counter(obs::names::kNetFramesCorrupt);
+  return *c;
+}
+
+}  // namespace
 
 Bytes encode_packet(const Packet& p) {
   Writer w(wire::kHeaderSize + p.payload.size());
@@ -10,6 +44,7 @@ Bytes encode_packet(const Packet& p) {
   w.u16(p.type);
   w.u64(p.seq);
   w.u32(static_cast<std::uint32_t>(p.payload.size()));
+  w.u32(wire::checksum(p.type, p.seq, p.payload));
   w.raw(p.payload);
   return w.take();
 }
@@ -44,6 +79,7 @@ Result<Packet> FrameParser::next() {
   const auto type = r.u16();
   const auto seq = r.u64();
   const auto len = r.u32();
+  const auto sum = r.u32();
   // Header fits (checked above), so these reads cannot fail.
   if (*magic != wire::kMagic) {
     poisoned_ = true;
@@ -65,11 +101,18 @@ Result<Packet> FrameParser::next() {
   if (buffered() < wire::kHeaderSize + *len) {
     return Error{Err::kUnavailable, "need payload bytes"};
   }
+  const std::size_t payload_at = pos_ + wire::kHeaderSize;
+  const auto payload_span =
+      std::span<const std::uint8_t>(buf_).subspan(payload_at, *len);
+  if (*sum != wire::checksum(*type, *seq, payload_span)) {
+    poisoned_ = true;
+    corrupt_frames_counter().inc();
+    return Error{Err::kProtocol, "checksum mismatch"};
+  }
   Packet p;
   p.kind = static_cast<PacketKind>(*kind);
   p.type = *type;
   p.seq = *seq;
-  const std::size_t payload_at = pos_ + wire::kHeaderSize;
   if (pos_ == 0 && buf_.size() == wire::kHeaderSize + *len) {
     // The frame is exactly the buffer: steal the buffer instead of copying
     // the payload out (the common case — one whole packet per read on

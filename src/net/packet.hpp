@@ -40,12 +40,20 @@ struct Packet {
 namespace wire {
 /// 'EVWR' — rejects cross-talk from non-EveryWare peers on the same port.
 constexpr std::uint32_t kMagic = 0x45565752;
-constexpr std::uint8_t kVersion = 1;
-/// Header: magic(4) version(1) kind(1) type(2) seq(8) length(4).
-constexpr std::size_t kHeaderSize = 20;
+/// v2 added the payload checksum field (and grew the header by 4 bytes).
+constexpr std::uint8_t kVersion = 2;
+/// Header: magic(4) version(1) kind(1) type(2) seq(8) length(4) checksum(4).
+constexpr std::size_t kHeaderSize = 24;
 /// Upper bound on payload size; a stream producing a larger length field is
 /// treated as corrupt rather than buffered indefinitely.
 constexpr std::size_t kMaxPayload = 16 * 1024 * 1024;
+
+/// FNV-1a (32-bit) over the frame's type, seq (both little-endian) and
+/// payload bytes. The magic catches cross-talk; this catches bit damage in
+/// flight — the paper's streams crossed enough flaky links that trusting
+/// TCP's 16-bit sum alone is optimistic for a months-long run.
+std::uint32_t checksum(MsgType type, std::uint64_t seq,
+                       std::span<const std::uint8_t> payload);
 }  // namespace wire
 
 /// Serialize a packet (header + payload) onto a byte buffer.

@@ -165,7 +165,8 @@ const std::vector<const char*>& mandatory_counters() {
       names::kNetTimeoutsFired,   names::kNetLateResponses,
       names::kNetLateRescues,     names::kNetDuplicateResponses,
       names::kNetShortCircuits,   names::kNetBreakerOpened,
-      names::kGossipSyncRounds,   names::kGossipPolls,
+      names::kNetFramesCorrupt,   names::kGossipSyncRounds,
+      names::kGossipPolls,
       names::kGossipUpdatesPushed, names::kGossipStatesAbsorbed,
       names::kCliqueTokens,       names::kCliqueRounds,
       names::kCliqueFragmentations, names::kCliqueElections,

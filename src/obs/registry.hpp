@@ -171,6 +171,7 @@ inline constexpr const char* kNetLateRescues = "net.late_rescues";
 inline constexpr const char* kNetDuplicateResponses = "net.duplicate_responses";
 inline constexpr const char* kNetShortCircuits = "net.short_circuits";
 inline constexpr const char* kNetBreakerOpened = "net.breaker.opened";
+inline constexpr const char* kNetFramesCorrupt = "net.frames.corrupt";
 inline constexpr const char* kNetCallLatencyUs = "net.call.latency_us";
 inline constexpr const char* kNetTimeoutWaitUs = "net.timeout.wait_us";
 inline constexpr const char* kGossipSyncRounds = "gossip.sync_rounds";

@@ -18,6 +18,10 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kSchedDispatch: return "sched.dispatch";
     case SpanKind::kSchedMigration: return "sched.migration";
     case SpanKind::kForecastMethodSwitch: return "forecast.method_switch";
+    case SpanKind::kCliqueViewChange: return "clique.view_change";
+    case SpanKind::kSchedUnitIssued: return "sched.unit_issued";
+    case SpanKind::kSchedUnitReclaimed: return "sched.unit_reclaimed";
+    case SpanKind::kChaosFault: return "chaos.fault";
   }
   return "?";
 }

@@ -38,9 +38,20 @@ enum class SpanKind : std::uint8_t {
   kSchedDispatch = 8,      // a = directive kind, b = client count
   kSchedMigration = 9,     // a = migrations so far
   kForecastMethodSwitch = 10,  // a = previous method index, b = new index
+  kCliqueViewChange = 11,  // a = generation, b = view size; tag = member
+  kSchedUnitIssued = 12,   // a = unit id; tag = scheduler endpoint
+  kSchedUnitReclaimed = 13,  // a = unit id, b = reason; tag = scheduler
+  kChaosFault = 14,        // a = FaultKind, b = aux; tag = target host
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind k);
+
+/// Reason codes carried in kSchedUnitReclaimed's b word.
+namespace reclaim {
+inline constexpr std::int64_t kReleased = 0;      // client re-registered
+inline constexpr std::int64_t kPresumedDead = 1;  // sweep reclaimed the holder
+inline constexpr std::int64_t kMigrated = 2;      // moved to a faster client
+}  // namespace reclaim
 
 /// One fixed-size event. `tag` is an interned string id (0 = none) — the
 /// dynamic-benchmarking event tag, endpoint, or component name.

@@ -53,13 +53,44 @@ Status SimTransport::send(const Endpoint& from, const Endpoint& to, Packet packe
   }
   ++sent_;
   bytes_ += size;
-  events_.schedule(d.latency, [this, from, to, pkt = std::move(packet)]() mutable {
+  if (d.reordered) ++reordered_;
+  if (d.duplicate) {
+    // The network minted a second copy; both arrive as real deliveries and
+    // the endpoints' dedup (response seq matching, idempotent handlers)
+    // must absorb it.
+    ++duplicated_;
+    deliver_at(d.dup_latency, from, to, packet, /*corrupt=*/false);
+  }
+  if (d.corrupt) ++corrupted_;
+  deliver_at(d.latency, from, to, std::move(packet), d.corrupt);
+  return {};
+}
+
+void SimTransport::deliver_at(Duration latency, const Endpoint& from,
+                              const Endpoint& to, Packet packet, bool corrupt) {
+  events_.schedule(latency, [this, from, to, corrupt,
+                             pkt = std::move(packet)]() mutable {
     if (!host_up(to.host)) return;  // receiver died in flight
     auto it = bindings_.find(to);
     if (it == bindings_.end()) return;  // unbound in flight
+    if (corrupt) {
+      // Emulate bit damage at the receiver's integrity boundary: frame the
+      // packet, flip one byte inside the checksummed region, and run the
+      // real FrameParser. The damaged frame must be rejected (counted as
+      // net.frames.corrupt), never delivered; if the checksum ever failed
+      // to catch it, the damaged payload would flow to the handler exactly
+      // as it would in production.
+      Bytes framed = encode_packet(pkt);
+      framed.back() ^= 0x40;  // payload's last byte, or the checksum itself
+      FrameParser parser;
+      parser.feed(framed);
+      auto parsed = parser.next();
+      if (!parsed.ok()) return;  // rejected at the integrity boundary
+      it->second(IncomingMessage{from, std::move(*parsed)});
+      return;
+    }
     it->second(IncomingMessage{from, std::move(pkt)});
   });
-  return {};
 }
 
 }  // namespace ew::sim

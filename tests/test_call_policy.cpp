@@ -5,6 +5,7 @@
 #include "net/call_policy.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ew {
@@ -67,7 +68,10 @@ class CallPolicyTest : public ::testing::Test {
     }
   }
 
-  const CallCounters& counters() const { return sink.counters(); }
+  /// Read one of the sink's counters by its obs::names key.
+  std::uint64_t stat(const char* name) const {
+    return sink.registry().counter(name).value();
+  }
 
   sim::EventQueue events;
   InProcTransport transport;
@@ -135,10 +139,10 @@ TEST_F(CallPolicyTest, RetryRecoversFromLostRequest) {
   events.run_until_idle();
   ASSERT_TRUE(got && got->ok());
   EXPECT_EQ(got->value(), Bytes{7});
-  EXPECT_EQ(counters().attempts, 2u);
-  EXPECT_EQ(counters().retries, 1u);
-  EXPECT_EQ(counters().timeouts_fired, 1u);
-  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 2u);
+  EXPECT_EQ(stat(obs::names::kNetRetries), 1u);
+  EXPECT_EQ(stat(obs::names::kNetTimeoutsFired), 1u);
+  EXPECT_EQ(stat(obs::names::kNetCallsOk), 1u);
 }
 
 TEST_F(CallPolicyTest, RetryBudgetExhaustsToTimeout) {
@@ -155,8 +159,8 @@ TEST_F(CallPolicyTest, RetryBudgetExhaustsToTimeout) {
   EXPECT_EQ(got->code(), Err::kTimeout);
   // 100 + 50 + 100 + 100 + 100: three attempts, two backoffs, no more.
   EXPECT_EQ(events.clock().now(), 450 * kMillisecond);
-  EXPECT_EQ(counters().attempts, 3u);
-  EXPECT_EQ(counters().retries, 2u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 3u);
+  EXPECT_EQ(stat(obs::names::kNetRetries), 2u);
   EXPECT_EQ(client.outstanding_calls(), 0u);
 }
 
@@ -170,8 +174,8 @@ TEST_F(CallPolicyTest, RejectionIsNotRetried) {
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->code(), Err::kRejected);
   EXPECT_EQ(got->error().message, "not today");
-  EXPECT_EQ(counters().attempts, 1u);
-  EXPECT_EQ(counters().retries, 0u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 1u);
+  EXPECT_EQ(stat(obs::names::kNetRetries), 0u);
 }
 
 TEST_F(CallPolicyTest, RetryRejectedOptInRetriesAppVerdicts) {
@@ -192,7 +196,7 @@ TEST_F(CallPolicyTest, RetryRejectedOptInRetriesAppVerdicts) {
   events.run_until_idle();
   ASSERT_TRUE(got && got->ok());
   EXPECT_EQ(serves, 2);
-  EXPECT_EQ(counters().attempts, 2u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 2u);
 }
 
 TEST_F(CallPolicyTest, DeadlineBoundsRetries) {
@@ -210,7 +214,7 @@ TEST_F(CallPolicyTest, DeadlineBoundsRetries) {
   EXPECT_EQ(got->code(), Err::kTimeout);
   // The deadline, not the 10-attempt budget, ends the call — exactly at 1 s.
   EXPECT_EQ(events.clock().now(), kSecond);
-  EXPECT_EQ(counters().attempts, 2u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 2u);
   EXPECT_EQ(client.outstanding_calls(), 0u);
 }
 
@@ -234,11 +238,11 @@ TEST_F(CallPolicyTest, HedgeCancelsDuplicateResponse) {
   EXPECT_EQ(called, 1);
   ASSERT_TRUE(got && got->ok());
   EXPECT_EQ(got->value(), Bytes{9});
-  EXPECT_EQ(counters().hedges, 1u);
-  EXPECT_EQ(counters().hedge_losses, 1u);
-  EXPECT_EQ(counters().hedge_wins, 0u);
-  EXPECT_EQ(counters().duplicate_responses, 1u);
-  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedges), 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedgeLosses), 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedgeWins), 0u);
+  EXPECT_EQ(stat(obs::names::kNetDuplicateResponses), 1u);
+  EXPECT_EQ(stat(obs::names::kNetCallsOk), 1u);
   EXPECT_EQ(client.outstanding_calls(), 0u);
 }
 
@@ -260,10 +264,10 @@ TEST_F(CallPolicyTest, HedgeWinsWhenPrimaryIsLost) {
   // Hedge sent at 100 ms, answered at 220 ms — before the primary's 250 ms
   // timer, so the call never saw a time-out at all.
   EXPECT_EQ(events.clock().now(), 220 * kMillisecond);
-  EXPECT_EQ(counters().hedges, 1u);
-  EXPECT_EQ(counters().hedge_wins, 1u);
-  EXPECT_EQ(counters().timeouts_fired, 0u);
-  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedges), 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedgeWins), 1u);
+  EXPECT_EQ(stat(obs::names::kNetTimeoutsFired), 0u);
+  EXPECT_EQ(stat(obs::names::kNetCallsOk), 1u);
 }
 
 TEST_F(CallPolicyTest, HedgeSkippedWithoutRttHistory) {
@@ -275,8 +279,8 @@ TEST_F(CallPolicyTest, HedgeSkippedWithoutRttHistory) {
               [&](Result<Bytes> r) { got = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(got && got->ok());
-  EXPECT_EQ(counters().hedges, 0u);
-  EXPECT_EQ(counters().attempts, 1u);
+  EXPECT_EQ(stat(obs::names::kNetHedges), 0u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 1u);
 }
 
 // --------------------------------------------------------------------------
@@ -300,11 +304,11 @@ TEST_F(CallPolicyTest, LateResponseAfterRetriedAttemptDeliversExactlyOnce) {
   EXPECT_EQ(called, 1);
   ASSERT_TRUE(got && got->ok());
   EXPECT_EQ(got->value(), Bytes{5});
-  EXPECT_EQ(counters().timeouts_fired, 1u);
-  EXPECT_EQ(counters().late_responses, 1u);
-  EXPECT_EQ(counters().late_rescues, 1u);
-  EXPECT_EQ(counters().duplicate_responses, 1u);
-  EXPECT_EQ(counters().calls_ok, 1u);
+  EXPECT_EQ(stat(obs::names::kNetTimeoutsFired), 1u);
+  EXPECT_EQ(stat(obs::names::kNetLateResponses), 1u);
+  EXPECT_EQ(stat(obs::names::kNetLateRescues), 1u);
+  EXPECT_EQ(stat(obs::names::kNetDuplicateResponses), 1u);
+  EXPECT_EQ(stat(obs::names::kNetCallsOk), 1u);
   EXPECT_EQ(client.outstanding_calls(), 0u);
 }
 
@@ -355,8 +359,8 @@ TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
   events.run_until_idle();
   ASSERT_TRUE(shed.has_value());
   EXPECT_EQ(shed->code(), Err::kUnavailable);  // shed, no network attempt
-  EXPECT_EQ(counters().short_circuits, 1u);
-  EXPECT_EQ(counters().attempts, 5u);
+  EXPECT_EQ(stat(obs::names::kNetShortCircuits), 1u);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 5u);
 
   // The server comes back; after the open window one probe closes the
   // breaker and traffic flows again.
@@ -372,7 +376,7 @@ TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
               [&](Result<Bytes> r) { after = std::move(r); });
   events.run_until_idle();
   ASSERT_TRUE(after && after->ok());
-  EXPECT_EQ(counters().short_circuits, 1u);  // nothing shed after recovery
+  EXPECT_EQ(stat(obs::names::kNetShortCircuits), 1u);  // nothing shed after recovery
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "net/inproc_transport.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ew {
@@ -219,20 +220,22 @@ TEST_F(NodeTest, ProcessStatsTrackSpuriousTimeouts) {
               [&](Result<Bytes>) { ++called; });
   events.run_until_idle();
   EXPECT_EQ(called, 1);
-  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 1u);
-  EXPECT_EQ(process_call_stats().counters().late_responses, 1u);
-  EXPECT_EQ(process_call_stats().counters().timeout_wait_us,
+  obs::Registry& reg = process_call_stats().registry();
+  EXPECT_EQ(reg.counter(obs::names::kNetTimeoutsFired).value(), 1u);
+  EXPECT_EQ(reg.counter(obs::names::kNetLateResponses).value(), 1u);
+  EXPECT_EQ(reg.histogram(obs::names::kNetTimeoutWaitUs).sum(),
             static_cast<std::uint64_t>(400 * kMillisecond));
   process_call_stats().reset();
-  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 0u);
+  EXPECT_EQ(reg.counter(obs::names::kNetTimeoutsFired).value(), 0u);
 }
 
 TEST_F(NodeTest, ProcessStatsIgnoreHealthyCalls) {
   process_call_stats().reset();
   client.call(server.self(), kEcho, {}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
   events.run_until_idle();
-  EXPECT_EQ(process_call_stats().counters().timeouts_fired, 0u);
-  EXPECT_EQ(process_call_stats().counters().late_responses, 0u);
+  obs::Registry& reg = process_call_stats().registry();
+  EXPECT_EQ(reg.counter(obs::names::kNetTimeoutsFired).value(), 0u);
+  EXPECT_EQ(reg.counter(obs::names::kNetLateResponses).value(), 0u);
 }
 
 TEST_F(NodeTest, InjectedSinkReceivesStatsInsteadOfProcessAggregate) {
@@ -241,15 +244,16 @@ TEST_F(NodeTest, InjectedSinkReceivesStatsInsteadOfProcessAggregate) {
   process_call_stats().reset();
   client.call(server.self(), kEcho, {1}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
   events.run_until_idle();
-  EXPECT_EQ(local.counters().calls_started, 1u);
-  EXPECT_EQ(local.counters().calls_ok, 1u);
-  EXPECT_EQ(local.counters().attempts, 1u);
-  EXPECT_EQ(process_call_stats().counters().calls_started, 0u);
+  EXPECT_EQ(local.registry().counter(obs::names::kNetCallsStarted).value(), 1u);
+  EXPECT_EQ(local.registry().counter(obs::names::kNetCallsOk).value(), 1u);
+  EXPECT_EQ(local.registry().counter(obs::names::kNetAttempts).value(), 1u);
+  obs::Registry& reg = process_call_stats().registry();
+  EXPECT_EQ(reg.counter(obs::names::kNetCallsStarted).value(), 0u);
   client.call_policy().set_stats_sink(nullptr);  // restore the default
   client.call(server.self(), kEcho, {2}, CallOptions::fixed(kSecond), [](Result<Bytes>) {});
   events.run_until_idle();
-  EXPECT_EQ(process_call_stats().counters().calls_started, 1u);
-  EXPECT_EQ(local.counters().calls_started, 1u);
+  EXPECT_EQ(reg.counter(obs::names::kNetCallsStarted).value(), 1u);
+  EXPECT_EQ(local.registry().counter(obs::names::kNetCallsStarted).value(), 1u);
 }
 
 TEST_F(NodeTest, ConcurrentCallsMatchBySequence) {

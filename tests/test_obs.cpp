@@ -358,8 +358,7 @@ TEST(ObsDeterminism, TracingIsPureObservation) {
 
 // ---------------------------------------------------------------------------
 // The CallStatsSink bridge: a default-constructed AggregateCallStats owns a
-// private registry (bench isolation), and the deprecated counters() shim
-// still materializes every field.
+// private registry (bench isolation) that callers read by obs::names key.
 
 TEST(ObsCallStats, DefaultSinkIsIsolatedFromProcessRegistry) {
   obs::registry().reset();
@@ -374,25 +373,25 @@ TEST(ObsCallStats, DefaultSinkIsIsolatedFromProcessRegistry) {
   local.record_call_end(true, 10 * kMillisecond);
   local.record_breaker_transition(0, 1);  // closed -> open
 
-  const CallCounters& c = local.counters();
-  EXPECT_EQ(c.calls_started, 1u);
-  EXPECT_EQ(c.calls_ok, 1u);
-  EXPECT_EQ(c.attempts, 3u);
-  EXPECT_EQ(c.retries, 1u);
-  EXPECT_EQ(c.hedges, 1u);
-  EXPECT_EQ(c.hedge_wins, 1u);
-  EXPECT_EQ(c.timeouts_fired, 1u);
-  EXPECT_EQ(c.late_responses, 1u);
-  EXPECT_EQ(c.late_rescues, 1u);
-  EXPECT_EQ(c.timeout_wait_us, 250'000u);
-  EXPECT_EQ(c.call_latency_us, 10'000u);
+  obs::Registry& r = local.registry();
+  EXPECT_EQ(r.counter(obs::names::kNetCallsStarted).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetCallsOk).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetAttempts).value(), 3u);
+  EXPECT_EQ(r.counter(obs::names::kNetRetries).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetHedges).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetHedgeWins).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetTimeoutsFired).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetLateResponses).value(), 1u);
+  EXPECT_EQ(r.counter(obs::names::kNetLateRescues).value(), 1u);
+  EXPECT_EQ(r.histogram(obs::names::kNetTimeoutWaitUs).sum(), 250'000u);
+  EXPECT_EQ(r.histogram(obs::names::kNetCallLatencyUs).sum(), 10'000u);
 
   // Nothing leaked into the process-wide registry.
   EXPECT_EQ(obs::registry().counter(obs::names::kNetCallsStarted).value(), 0u);
   EXPECT_EQ(obs::registry().counter(obs::names::kNetAttempts).value(), 0u);
 
   local.reset();
-  EXPECT_EQ(local.counters().attempts, 0u);
+  EXPECT_EQ(r.counter(obs::names::kNetAttempts).value(), 0u);
 }
 
 TEST(ObsCallStats, BreakerTransitionCountsOpensOnly) {
@@ -400,7 +399,7 @@ TEST(ObsCallStats, BreakerTransitionCountsOpensOnly) {
   local.record_breaker_transition(0, 1);  // closed -> open
   local.record_breaker_transition(1, 2);  // open -> half-open: not an open
   local.record_breaker_transition(2, 1);  // half-open -> open
-  EXPECT_EQ(local.counters().breaker_opened, 2u);
+  EXPECT_EQ(local.registry().counter(obs::names::kNetBreakerOpened).value(), 2u);
 }
 
 }  // namespace

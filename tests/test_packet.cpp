@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/packet.hpp"
+#include "obs/registry.hpp"
 
 namespace ew {
 namespace {
@@ -158,7 +159,8 @@ TEST(FrameParser, BadKindPoisons) {
 
 TEST(FrameParser, OversizedLengthPoisons) {
   Bytes wire = encode_packet(make_packet(PacketKind::kOneWay, 1, 1, {}));
-  // Length field is the last 4 header bytes; claim 512 MiB.
+  // Length field sits at header bytes 16..19 (before the checksum); claim
+  // 512 MiB.
   wire[16] = 0;
   wire[17] = 0;
   wire[18] = 0;
@@ -195,6 +197,36 @@ TEST(FrameParser, BufferCompactionKeepsParsing) {
   }
   EXPECT_EQ(got, 200u);
   EXPECT_EQ(fp.buffered(), 0u);
+}
+
+TEST(FrameParser, ChecksumMismatchPoisonsAndCounts) {
+  Bytes wire = encode_packet(make_packet(PacketKind::kOneWay, 1, 7, {1, 2, 3}));
+  wire.back() ^= 0x01;  // flip one payload bit
+  const auto before =
+      obs::registry().counter(obs::names::kNetFramesCorrupt).value();
+  FrameParser fp;
+  fp.feed(wire);
+  EXPECT_EQ(fp.next().code(), Err::kProtocol);
+  EXPECT_TRUE(fp.poisoned());
+  EXPECT_EQ(obs::registry().counter(obs::names::kNetFramesCorrupt).value(),
+            before + 1);
+}
+
+TEST(FrameParser, ChecksumFieldCorruptionDetected) {
+  Bytes wire = encode_packet(make_packet(PacketKind::kOneWay, 1, 7, {}));
+  wire[20] ^= 0xFF;  // checksum bytes are 20..23
+  FrameParser fp;
+  fp.feed(wire);
+  EXPECT_EQ(fp.next().code(), Err::kProtocol);
+}
+
+TEST(Packet, ChecksumCoversTypeSeqAndPayload) {
+  const Bytes payload{1, 2, 3};
+  const auto base = wire::checksum(7, 9, payload);
+  EXPECT_EQ(wire::checksum(7, 9, payload), base);  // deterministic
+  EXPECT_NE(wire::checksum(8, 9, payload), base);
+  EXPECT_NE(wire::checksum(7, 10, payload), base);
+  EXPECT_NE(wire::checksum(7, 9, Bytes{1, 2, 4}), base);
 }
 
 TEST(FrameParser, MaxPayloadBoundaryAccepted) {

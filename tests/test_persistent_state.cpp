@@ -238,6 +238,120 @@ TEST_F(FileBackedStateTest, CorruptedFileRefusedOnRecovery) {
   EXPECT_FALSE(mgr2->fetch(best_graph_name(17, 4)).has_value());
 }
 
+// --- Torn-write recovery ----------------------------------------------------
+//
+// A crash can interrupt write_through at any point: mid-write (truncated
+// .obj.tmp), after write but before rename (intact orphan tmp), or it can
+// leave a damaged final image next to a healthy tmp. start() must recover
+// the newest intact version in every case and consume the orphan.
+
+TEST_F(FileBackedStateTest, TruncatedTmpIsRefusedAndCleaned) {
+  const Bytes v2 = gossip::versioned_blob(2, {1, 2, 3});
+  std::filesystem::path final_path;
+  {
+    Node node(events, transport, Endpoint{"state", 402});
+    node.start();
+    auto mgr = make_manager(node);
+    ASSERT_TRUE(mgr->store("notes/run", v2).ok());
+    node.stop();
+  }
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".obj") final_path = e.path();
+  }
+  ASSERT_FALSE(final_path.empty());
+  // A torn write of v3: only the first bytes of the blob made it to disk.
+  const Bytes v3 = gossip::versioned_blob(3, {4, 5, 6});
+  {
+    std::ofstream out(final_path.string() + ".tmp", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(v3.data()), 3);
+  }
+  Node node2(events, transport, Endpoint{"state2", 402});
+  node2.start();
+  auto mgr2 = make_manager(node2);
+  EXPECT_EQ(mgr2->objects_recovered(), 1u);
+  auto fetched = mgr2->fetch("notes/run");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, v2);  // the intact final image won
+  EXPECT_FALSE(std::filesystem::exists(final_path.string() + ".tmp"));
+}
+
+TEST_F(FileBackedStateTest, IntactOrphanTmpRecoversAndPromotes) {
+  const Bytes v1 = gossip::versioned_blob(1, {1});
+  const Bytes v2 = gossip::versioned_blob(2, {2});
+  std::filesystem::path final_path;
+  {
+    Node node(events, transport, Endpoint{"state", 402});
+    node.start();
+    auto mgr = make_manager(node);
+    ASSERT_TRUE(mgr->store("notes/run", v1).ok());
+    node.stop();
+  }
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".obj") final_path = e.path();
+  }
+  ASSERT_FALSE(final_path.empty());
+  // Crash landed after writing v2's tmp but before the rename.
+  {
+    std::ofstream out(final_path.string() + ".tmp", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(v2.data()),
+              static_cast<std::streamsize>(v2.size()));
+  }
+  {
+    Node node2(events, transport, Endpoint{"state2", 402});
+    node2.start();
+    auto mgr2 = make_manager(node2);
+    EXPECT_EQ(mgr2->objects_recovered(), 1u);
+    auto fetched = mgr2->fetch("notes/run");
+    ASSERT_TRUE(fetched.has_value());
+    EXPECT_EQ(*fetched, v2);  // newest intact version, from the tmp
+    node2.stop();
+  }
+  // The orphan was consumed and v2 promoted to the final image, so a third
+  // incarnation no longer depends on the tmp.
+  EXPECT_FALSE(std::filesystem::exists(final_path.string() + ".tmp"));
+  Node node3(events, transport, Endpoint{"state3", 402});
+  node3.start();
+  auto mgr3 = make_manager(node3);
+  auto fetched = mgr3->fetch("notes/run");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, v2);
+}
+
+TEST_F(FileBackedStateTest, GarbledFinalRecoversFromIntactTmp) {
+  const Bytes v1 = gossip::versioned_blob(1, {1});
+  const Bytes v2 = gossip::versioned_blob(2, {2});
+  std::filesystem::path final_path;
+  {
+    Node node(events, transport, Endpoint{"state", 402});
+    node.start();
+    auto mgr = make_manager(node);
+    ASSERT_TRUE(mgr->store("notes/run", v1).ok());
+    node.stop();
+  }
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".obj") final_path = e.path();
+  }
+  ASSERT_FALSE(final_path.empty());
+  // The final image is torn (truncated to two bytes) but the next version's
+  // tmp survived intact.
+  {
+    std::ofstream out(final_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(v1.data()), 2);
+  }
+  {
+    std::ofstream out(final_path.string() + ".tmp", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(v2.data()),
+              static_cast<std::streamsize>(v2.size()));
+  }
+  Node node2(events, transport, Endpoint{"state2", 402});
+  node2.start();
+  auto mgr2 = make_manager(node2);
+  EXPECT_EQ(mgr2->objects_recovered(), 1u);
+  auto fetched = mgr2->fetch("notes/run");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, v2);
+}
+
 TEST_F(FileBackedStateTest, SlashAndUnicodeNamesAreFileSafe) {
   Node node(events, transport, Endpoint{"state", 402});
   node.start();

@@ -6,9 +6,25 @@
 
 #include "app/scenario.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 
 namespace ew::app {
 namespace {
+
+/// The stability-relevant slice of the process-wide call counters, captured
+/// from the registry between scenario arms.
+struct NetStats {
+  std::uint64_t late_responses = 0;
+  std::uint64_t timeouts_fired = 0;
+  std::uint64_t timeout_wait_us = 0;
+};
+
+NetStats net_stats_snapshot() {
+  obs::Registry& r = process_call_stats().registry();
+  return {r.counter(obs::names::kNetLateResponses).value(),
+          r.counter(obs::names::kNetTimeoutsFired).value(),
+          r.histogram(obs::names::kNetTimeoutWaitUs).sum()};
+}
 
 /// Small, fast configuration shared by most tests (~2.5 h window).
 ScenarioOptions quick_options() {
@@ -131,21 +147,21 @@ TEST(Scenario, AdaptiveTimeoutsAreStablerThanShortStatic) {
 
   process_call_stats().reset();
   const ScenarioResults ra = Sc98Scenario(base).run();
-  const CallCounters adaptive = process_call_stats().counters();
+  const NetStats adaptive = net_stats_snapshot();
 
   ScenarioOptions tight = base;
   tight.adaptive_timeouts = false;
   tight.static_timeout = 300 * kMillisecond;
   process_call_stats().reset();
   const ScenarioResults rt = Sc98Scenario(tight).run();
-  const CallCounters short_static = process_call_stats().counters();
+  const NetStats short_static = net_stats_snapshot();
 
   ScenarioOptions loose = base;
   loose.adaptive_timeouts = false;
   loose.static_timeout = 20 * kSecond;
   process_call_stats().reset();
   Sc98Scenario(loose).run();
-  const CallCounters long_static = process_call_stats().counters();
+  const NetStats long_static = net_stats_snapshot();
   process_call_stats().reset();
 
   EXPECT_LT(adaptive.late_responses * 2, short_static.late_responses)
