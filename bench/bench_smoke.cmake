@@ -26,3 +26,10 @@ execute_process(COMMAND ${ABLATION_TIMEOUTS} --quick RESULT_VARIABLE rc_policy)
 if(NOT rc_policy EQUAL 0)
   message(FATAL_ERROR "ablation_timeouts --quick failed (exit ${rc_policy})")
 endif()
+
+# Real-network scale gate: a short closed-loop soak over loopback TCP.
+# Non-zero exit means a lost/duplicated reply or a connection shortfall.
+execute_process(COMMAND ${C10K_SOAK} --quick RESULT_VARIABLE rc_c10k)
+if(NOT rc_c10k EQUAL 0)
+  message(FATAL_ERROR "c10k_soak --quick failed (exit ${rc_c10k})")
+endif()

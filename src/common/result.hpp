@@ -26,6 +26,7 @@ enum class Err {
   kRejected,      // request understood but denied (e.g. sanity check failed)
   kInternal,      // OS error or invariant failure
   kPeerDown,      // local process crashed / peer process known dead
+  kOverloaded,    // backpressure: local queue/outbox full, retry after backoff
 };
 
 /// Human-readable label for an error code.
@@ -43,7 +44,7 @@ inline std::uint8_t err_to_wire(Err e) {
 /// Decode a wire status byte. Bytes outside the enum (a newer or corrupted
 /// peer) degrade to kInternal instead of minting an unnamed Err value.
 inline Err err_from_wire(std::uint8_t code) {
-  if (code == 0 || code > static_cast<std::uint8_t>(Err::kPeerDown)) {
+  if (code == 0 || code > static_cast<std::uint8_t>(Err::kOverloaded)) {
     return Err::kInternal;
   }
   return static_cast<Err>(code);
@@ -70,6 +71,7 @@ inline const char* err_name(Err e) {
     case Err::kRejected: return "rejected";
     case Err::kInternal: return "internal";
     case Err::kPeerDown: return "peer_down";
+    case Err::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

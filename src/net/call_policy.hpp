@@ -46,6 +46,7 @@ namespace ew {
     case Err::kRefused:
     case Err::kUnavailable:
     case Err::kPeerDown:
+    case Err::kOverloaded:  // local outbox full; backoff then resend
       return true;
     default:
       return false;

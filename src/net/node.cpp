@@ -192,8 +192,14 @@ void Node::start_attempt(std::uint64_t call_id, Bytes payload, bool is_hedge) {
     exec_.cancel(pit->second.timer);
     pending_.erase(pit);
     --c.in_flight;
-    policy_.on_attempt_result(c.tag, c.to, now, 0, /*ok=*/false);
-    if (observer_) observer_(c.to, c.type, 0, /*success=*/false);
+    // Backpressure (kOverloaded) is a verdict on OUR outbox, not on the
+    // server: feeding it to the breaker/forecaster would open circuits and
+    // shrink time-outs for a peer that did nothing wrong. Other synchronous
+    // failures are genuine destination trouble and are recorded.
+    if (s.code() != Err::kOverloaded) {
+      policy_.on_attempt_result(c.tag, c.to, now, 0, /*ok=*/false);
+      if (observer_) observer_(c.to, c.type, 0, /*success=*/false);
+    }
     on_attempt_failed(call_id, s.error());
   }
 }

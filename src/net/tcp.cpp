@@ -77,7 +77,7 @@ Result<std::uint16_t> local_port(const Fd& fd) {
   return static_cast<std::uint16_t>(ntohs(addr.sin_port));
 }
 
-Result<Fd> tcp_connect(const Endpoint& to, Duration timeout) {
+Result<PendingConnect> tcp_connect_start(const Endpoint& to) {
   auto ip = resolve(to.host);
   if (!ip) return ip.error();
 
@@ -91,28 +91,44 @@ Result<Fd> tcp_connect(const Endpoint& to, Duration timeout) {
   addr.sin_port = htons(to.port);
 
   const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc == 0) return fd;  // immediate success (loopback)
+  if (rc == 0) {  // immediate success (loopback)
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return PendingConnect{std::move(fd), /*completed=*/true};
+  }
   if (errno != EINPROGRESS) {
     return Error{Err::kRefused, "connect " + to.to_string() + ": " + errno_str()};
   }
+  return PendingConnect{std::move(fd), /*completed=*/false};
+}
 
-  fd_set wfds;
-  FD_ZERO(&wfds);
-  FD_SET(fd.get(), &wfds);
-  timeval tv = to_timeval(timeout);
-  const int sel = ::select(fd.get() + 1, nullptr, &wfds, nullptr, &tv);
-  if (sel == 0) return Error{Err::kTimeout, "connect " + to.to_string() + " timed out"};
-  if (sel < 0) return Error{Err::kInternal, "select: " + errno_str()};
-
+Status tcp_finish_connect(const Fd& fd, const Endpoint& to) {
   int soerr = 0;
   socklen_t len = sizeof(soerr);
   if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 || soerr != 0) {
-    return Error{Err::kRefused,
-                 "connect " + to.to_string() + ": " + std::strerror(soerr ? soerr : errno)};
+    return Status(Err::kRefused,
+                  "connect " + to.to_string() + ": " + std::strerror(soerr ? soerr : errno));
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  return {};
+}
+
+Result<Fd> tcp_connect(const Endpoint& to, Duration timeout) {
+  auto started = tcp_connect_start(to);
+  if (!started) return started.error();
+  if (started->completed) return std::move(started->fd);
+
+  fd_set wfds;
+  FD_ZERO(&wfds);
+  FD_SET(started->fd.get(), &wfds);
+  timeval tv = to_timeval(timeout);
+  const int sel = ::select(started->fd.get() + 1, nullptr, &wfds, nullptr, &tv);
+  if (sel == 0) return Error{Err::kTimeout, "connect " + to.to_string() + " timed out"};
+  if (sel < 0) return Error{Err::kInternal, "select: " + errno_str()};
+
+  if (Status s = tcp_finish_connect(started->fd, to); !s.ok()) return s.error();
+  return std::move(started->fd);
 }
 
 Result<Fd> tcp_accept(const Fd& listener) {

@@ -49,7 +49,10 @@ class Fd {
 
 /// Create a listening socket on the given port (all interfaces).
 /// Pass port 0 to let the OS pick; use local_port() to discover it.
-Result<Fd> tcp_listen(std::uint16_t port, int backlog = 64);
+/// The default backlog admits a c10k-style connection storm (the kernel
+/// silently caps it at net.core.somaxconn); the reactor's accept loop
+/// drains the queue completely on every readiness event.
+Result<Fd> tcp_listen(std::uint16_t port, int backlog = 4096);
 
 /// The locally bound port of a socket (for port-0 listeners).
 Result<std::uint16_t> local_port(const Fd& fd);
@@ -58,7 +61,28 @@ Result<std::uint16_t> local_port(const Fd& fd);
 /// Only numeric IPv4 addresses and "localhost" are resolved — the toolkit
 /// does not depend on a resolver library (cf. the NT Supercluster DNS
 /// incident, Section 5.5: name resolution is the deployment's problem).
+/// Blocks the caller for up to `timeout`; event-loop code should use
+/// tcp_connect_start + a writable watcher instead.
 Result<Fd> tcp_connect(const Endpoint& to, Duration timeout);
+
+/// A connect attempt in flight: the (non-blocking) socket plus whether the
+/// handshake already finished inside the connect() call (loopback fast
+/// path). When `completed` is false the socket selects writable once the
+/// handshake resolves; harvest the verdict with tcp_finish_connect.
+struct PendingConnect {
+  Fd fd;
+  bool completed = false;
+};
+
+/// Begin a non-blocking connect to `to` and return immediately — never
+/// blocks, regardless of how dead the peer is. Resolution rules match
+/// tcp_connect.
+Result<PendingConnect> tcp_connect_start(const Endpoint& to);
+
+/// After a started connect selects writable: read SO_ERROR and finish the
+/// socket set-up (TCP_NODELAY). Returns ok on an established connection,
+/// Err::kRefused with the OS verdict otherwise.
+Status tcp_finish_connect(const Fd& fd, const Endpoint& to);
 
 /// Mark a socket non-blocking.
 Status set_nonblocking(const Fd& fd);

@@ -52,14 +52,36 @@ Result<Routed> unroute(Packet&& p) {
   return out;
 }
 
+/// Once flushed bytes pass this mark the outbox prefix is erased; bounds
+/// the memory a long-lived, slowly draining connection pins.
+constexpr std::size_t kOutboxCompactThreshold = 1 << 20;
+
 }  // namespace
+
+TcpTransport::TcpTransport(Reactor& reactor)
+    : reactor_(reactor),
+      backpressure_rejects_(
+          &obs::registry().counter(obs::names::kNetBackpressureRejects)),
+      frames_truncated_(
+          &obs::registry().counter(obs::names::kNetFramesTruncated)),
+      conns_open_(&obs::registry().gauge(obs::names::kNetConnsOpen)),
+      outbox_bytes_(&obs::registry().gauge(obs::names::kNetOutboxBytes)) {}
 
 TcpTransport::~TcpTransport() {
   for (auto& [ep, l] : listeners_) reactor_.unwatch_readable(l.fd.get());
   for (auto& [fd, c] : conns_) {
     reactor_.unwatch_readable(fd);
     if (c.writable_watched) reactor_.unwatch_writable(fd);
+    if (c.connect_timer != kInvalidTimer) reactor_.cancel(c.connect_timer);
   }
+  conns_open_->add(-static_cast<double>(conns_.size()));
+  account_outbox(-static_cast<std::ptrdiff_t>(total_outbox_bytes_));
+}
+
+void TcpTransport::account_outbox(std::ptrdiff_t delta) {
+  total_outbox_bytes_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(total_outbox_bytes_) + delta);
+  outbox_bytes_->add(static_cast<double>(delta));
 }
 
 Status TcpTransport::bind(const Endpoint& self, PacketHandler handler) {
@@ -83,18 +105,40 @@ void TcpTransport::unbind(const Endpoint& self) {
 
 int TcpTransport::ensure_connection(const Endpoint& to, Status& status) {
   if (auto it = peer_conn_.find(to); it != peer_conn_.end()) return it->second;
-  auto fd = tcp_connect(to, connect_timeout_);
-  if (!fd) {
-    status = fd.error();
+  auto started = tcp_connect_start(to);
+  if (!started) {
+    status = started.error();
     return -1;
   }
-  const int raw = fd->get();
+  const int raw = started->fd.get();
+  const std::uint64_t id = next_conn_id_++;
   Conn conn;
-  conn.fd = std::move(*fd);
+  conn.id = id;
+  conn.fd = std::move(started->fd);
   conn.peer = to;
+  conn.connecting = !started->completed;
   conns_.emplace(raw, std::move(conn));
   peer_conn_[to] = raw;
+  conns_open_->add(1);
   reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
+  if (!started->completed) {
+    // The handshake verdict selects writable (success and failure alike);
+    // the timer bounds a peer that answers with silence. Both guards check
+    // the conn id: the fd number may belong to a different connection by
+    // the time they run.
+    Conn& c = conns_.at(raw);
+    c.writable_watched = true;
+    reactor_.watch_writable(raw, [this, raw] { on_conn_writable(raw); });
+    c.connect_timer = reactor_.schedule(connect_timeout_, [this, raw, id] {
+      auto cit = conns_.find(raw);
+      if (cit == conns_.end() || cit->second.id != id) return;
+      cit->second.connect_timer = kInvalidTimer;
+      if (!cit->second.connecting) return;
+      EW_DEBUG << "TcpTransport: connect to " << cit->second.peer.to_string()
+               << " timed out";
+      close_conn(raw);
+    });
+  }
   return raw;
 }
 
@@ -104,7 +148,19 @@ Status TcpTransport::send(const Endpoint& from, const Endpoint& to, Packet packe
   if (fd < 0) return status;
   const Bytes frame = encode_packet(route(packet, from, to));
   auto& conn = conns_.at(fd);
+  const std::size_t pending = conn.outbox.size() - conn.outbox_pos;
+  if (pending + frame.size() > max_outbox_bytes_) {
+    backpressure_rejects_->inc();
+    return Status(Err::kOverloaded,
+                  "outbox full to " + to.to_string() + " (" +
+                      std::to_string(pending) + " bytes pending)");
+  }
   conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  account_outbox(static_cast<std::ptrdiff_t>(frame.size()));
+  // Still dialling: the frame rides the outbox until the handshake verdict
+  // arrives via on_conn_writable. Queueing is success — delivery was never
+  // guaranteed (see Transport::send).
+  if (conn.connecting) return {};
   return flush(fd);
 }
 
@@ -122,11 +178,17 @@ Status TcpTransport::flush(int fd) {
       // Socket buffer full; resume when writable.
       if (!c.writable_watched) {
         c.writable_watched = true;
-        reactor_.watch_writable(fd, [this, fd] { (void)flush(fd); });
+        reactor_.watch_writable(fd, [this, fd] { on_conn_writable(fd); });
+      }
+      if (c.outbox_pos >= kOutboxCompactThreshold) {
+        c.outbox.erase(c.outbox.begin(),
+                       c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_pos));
+        c.outbox_pos = 0;
       }
       return {};
     }
     c.outbox_pos += *n;
+    account_outbox(-static_cast<std::ptrdiff_t>(*n));
   }
   c.outbox.clear();
   c.outbox_pos = 0;
@@ -142,11 +204,38 @@ void TcpTransport::close_conn(int fd) {
   if (it == conns_.end()) return;
   reactor_.unwatch_readable(fd);
   if (it->second.writable_watched) reactor_.unwatch_writable(fd);
+  if (it->second.connect_timer != kInvalidTimer) {
+    reactor_.cancel(it->second.connect_timer);
+  }
+  account_outbox(-static_cast<std::ptrdiff_t>(it->second.outbox.size() -
+                                              it->second.outbox_pos));
   if (it->second.peer.valid()) {
     auto pit = peer_conn_.find(it->second.peer);
     if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
   }
   conns_.erase(it);
+  conns_open_->add(-1);
+}
+
+void TcpTransport::on_conn_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (c.connecting) {
+    const Status verdict = tcp_finish_connect(c.fd, c.peer);
+    if (!verdict.ok()) {
+      EW_DEBUG << "TcpTransport: async connect to " << c.peer.to_string()
+               << " failed: " << verdict.to_string();
+      close_conn(fd);  // queued frames die with the conn; Node times out
+      return;
+    }
+    c.connecting = false;
+    if (c.connect_timer != kInvalidTimer) {
+      reactor_.cancel(c.connect_timer);
+      c.connect_timer = kInvalidTimer;
+    }
+  }
+  (void)flush(fd);  // drains the outbox; unwatches writable once empty
 }
 
 void TcpTransport::on_listener_readable(int listener_fd) {
@@ -164,8 +253,10 @@ void TcpTransport::on_listener_readable(int listener_fd) {
     if (!accepted) return;  // kUnavailable: drained
     const int raw = accepted->get();
     Conn conn;
+    conn.id = next_conn_id_++;
     conn.fd = std::move(*accepted);
     conns_.emplace(raw, std::move(conn));
+    conns_open_->add(1);
     reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
   }
 }
@@ -176,6 +267,20 @@ void TcpTransport::on_conn_readable(int fd) {
   Bytes chunk;
   auto n = recv_some(it->second.fd, chunk);
   if (!n) {
+    if (n.code() == Err::kClosed) {
+      // Peer half-closed. Frames already complete in the parser buffer must
+      // still be delivered; only a partial trailing frame is lost, and that
+      // loss is counted rather than silent.
+      const std::uint64_t id = it->second.id;
+      dispatch_frames(fd);
+      auto again = conns_.find(fd);
+      if (again == conns_.end() || again->second.id != id) return;
+      if (again->second.parser.buffered() > 0 && !again->second.parser.poisoned()) {
+        frames_truncated_->inc();
+        EW_DEBUG << "TcpTransport: peer closed mid-frame ("
+                 << again->second.parser.buffered() << " bytes dropped)";
+      }
+    }
     close_conn(fd);
     return;
   }
@@ -185,9 +290,21 @@ void TcpTransport::on_conn_readable(int fd) {
 }
 
 void TcpTransport::dispatch_frames(int fd) {
+  // Handlers run user code: they may close this connection, accept a new
+  // one that reuses the fd number, or unbind the very listener being
+  // dispatched to. Every iteration therefore re-finds the connection and
+  // verifies it is still the same one (by id), and the handler is invoked
+  // through a copy so an unbind mid-call cannot destroy the callable under
+  // our feet.
+  std::uint64_t conn_id = 0;
   for (;;) {
     auto it = conns_.find(fd);
-    if (it == conns_.end()) return;  // a handler may have closed us
+    if (it == conns_.end()) return;  // a handler closed us
+    if (conn_id == 0) {
+      conn_id = it->second.id;
+    } else if (it->second.id != conn_id) {
+      return;  // fd number reused by a different connection mid-loop
+    }
     auto pkt = it->second.parser.next();
     if (!pkt) {
       if (pkt.code() == Err::kProtocol) {
@@ -206,7 +323,7 @@ void TcpTransport::dispatch_frames(int fd) {
     // Learn/refresh the peer's routable address so replies reuse this
     // connection instead of dialling back.
     if (routed->src.valid()) {
-      Conn& c = conns_.at(fd);
+      Conn& c = it->second;
       if (c.peer != routed->src) {
         if (c.peer.valid()) {
           auto pit = peer_conn_.find(c.peer);
@@ -221,7 +338,8 @@ void TcpTransport::dispatch_frames(int fd) {
       EW_DEBUG << "TcpTransport: no local endpoint " << routed->dst.to_string();
       continue;
     }
-    lit->second.handler(IncomingMessage{routed->src, std::move(routed->inner)});
+    const PacketHandler handler = lit->second.handler;
+    handler(IncomingMessage{routed->src, std::move(routed->inner)});
   }
 }
 

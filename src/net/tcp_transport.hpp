@@ -7,21 +7,32 @@
 // re-connectable across the federated environments of Section 5).
 //
 // All methods must be called on the owning Reactor's thread. Connections are
-// created lazily on first send, cached per peer endpoint, and torn down on
-// any socket error; reliability above that is the job of the time-out /
-// retry machinery in Node and the forecasting layer.
+// created lazily on first send and cached per peer endpoint. Dialling is
+// asynchronous: send() starts a non-blocking connect, queues the frame, and
+// returns — a dead or black-holed peer never stalls the event loop; the
+// connect verdict arrives through a writable watcher (or the connect timer)
+// and a failed dial simply tears the connection down, dropping its queued
+// frames. Reliability above that is the job of the time-out / retry
+// machinery in Node and the forecasting layer.
+//
+// Backpressure is explicit: each connection's outbox is bounded
+// (set_max_outbox_bytes), and a send that would overflow it fails
+// synchronously with Err::kOverloaded (counted in net.backpressure_rejects)
+// instead of buffering without limit against a slow or stalled peer.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "net/reactor.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 
 namespace ew {
 
 class TcpTransport final : public Transport {
  public:
-  explicit TcpTransport(Reactor& reactor) : reactor_(reactor) {}
+  explicit TcpTransport(Reactor& reactor);
   ~TcpTransport() override;
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
@@ -30,19 +41,31 @@ class TcpTransport final : public Transport {
   void unbind(const Endpoint& self) override;
   Status send(const Endpoint& from, const Endpoint& to, Packet packet) override;
 
-  /// Blocking connect budget for lazily created connections (default 2 s).
+  /// Budget for an asynchronous dial to complete (default 2 s). The dial
+  /// itself never blocks the reactor; this bounds how long queued frames
+  /// wait on an unresponsive peer before the connection is abandoned.
   void set_connect_timeout(Duration d) { connect_timeout_ = d; }
 
+  /// Per-connection outbox ceiling in bytes (default 64 MiB, which admits a
+  /// few maximum-size frames). Sends that would exceed it fail with
+  /// Err::kOverloaded.
+  void set_max_outbox_bytes(std::size_t n) { max_outbox_bytes_ = n; }
+
   [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+  /// Bytes queued across every connection's outbox (backpressure signal).
+  [[nodiscard]] std::size_t queued_bytes() const { return total_outbox_bytes_; }
 
  private:
   struct Conn {
+    std::uint64_t id = 0;  // unique per Conn; guards against fd-number reuse
     Fd fd;
     FrameParser parser;
     Bytes outbox;
     std::size_t outbox_pos = 0;
     Endpoint peer;  // last known routable address of the other side
     bool writable_watched = false;
+    bool connecting = false;             // dial started, verdict pending
+    TimerId connect_timer = kInvalidTimer;
   };
   struct Listener {
     Fd fd;
@@ -52,15 +75,27 @@ class TcpTransport final : public Transport {
   Status flush(int fd);
   void close_conn(int fd);
   void on_conn_readable(int fd);
+  void on_conn_writable(int fd);
   void on_listener_readable(int listener_fd);
   void dispatch_frames(int fd);
   int ensure_connection(const Endpoint& to, Status& status);
+  /// Adjust the shared outbox accounting (and its gauge) by +/- delta. The
+  /// gauges aggregate by delta so several transports in one process (each
+  /// component pool has its own) sum instead of clobbering each other.
+  void account_outbox(std::ptrdiff_t delta);
 
   Reactor& reactor_;
   Duration connect_timeout_ = 2 * kSecond;
+  std::size_t max_outbox_bytes_ = 64 * 1024 * 1024;
+  std::size_t total_outbox_bytes_ = 0;
+  std::uint64_t next_conn_id_ = 1;
   std::unordered_map<Endpoint, Listener, EndpointHash> listeners_;
   std::unordered_map<int, Conn> conns_;                       // keyed by fd
   std::unordered_map<Endpoint, int, EndpointHash> peer_conn_;  // peer -> fd
+  obs::Counter* backpressure_rejects_;
+  obs::Counter* frames_truncated_;
+  obs::Gauge* conns_open_;
+  obs::Gauge* outbox_bytes_;
 };
 
 }  // namespace ew

@@ -165,7 +165,8 @@ const std::vector<const char*>& mandatory_counters() {
       names::kNetTimeoutsFired,   names::kNetLateResponses,
       names::kNetLateRescues,     names::kNetDuplicateResponses,
       names::kNetShortCircuits,   names::kNetBreakerOpened,
-      names::kNetFramesCorrupt,   names::kGossipSyncRounds,
+      names::kNetFramesCorrupt,   names::kNetFramesTruncated,
+      names::kNetBackpressureRejects, names::kGossipSyncRounds,
       names::kGossipPolls,
       names::kGossipUpdatesPushed, names::kGossipStatesAbsorbed,
       names::kCliqueTokens,       names::kCliqueRounds,
@@ -173,6 +174,14 @@ const std::vector<const char*>& mandatory_counters() {
       names::kSchedDispatches,    names::kSchedReports,
       names::kSchedMigrations,    names::kSchedPresumedDead,
       names::kForecastMethodSwitches, names::kAppDroppedSamples,
+  };
+  return kList;
+}
+
+const std::vector<const char*>& mandatory_gauges() {
+  static const std::vector<const char*> kList = {
+      names::kNetConnsOpen,
+      names::kNetOutboxBytes,
   };
   return kList;
 }
@@ -189,6 +198,7 @@ Registry& registry() {
   static Registry* r = [] {
     auto* reg = new Registry();
     for (const char* n : mandatory_counters()) reg->counter(n);
+    for (const char* n : mandatory_gauges()) reg->gauge(n);
     for (const char* n : mandatory_histograms()) reg->histogram(n);
     return reg;
   }();

@@ -172,6 +172,10 @@ inline constexpr const char* kNetDuplicateResponses = "net.duplicate_responses";
 inline constexpr const char* kNetShortCircuits = "net.short_circuits";
 inline constexpr const char* kNetBreakerOpened = "net.breaker.opened";
 inline constexpr const char* kNetFramesCorrupt = "net.frames.corrupt";
+inline constexpr const char* kNetFramesTruncated = "net.frames.truncated";
+inline constexpr const char* kNetBackpressureRejects = "net.backpressure_rejects";
+inline constexpr const char* kNetConnsOpen = "net.conns_open";
+inline constexpr const char* kNetOutboxBytes = "net.outbox_bytes";
 inline constexpr const char* kNetCallLatencyUs = "net.call.latency_us";
 inline constexpr const char* kNetTimeoutWaitUs = "net.timeout.wait_us";
 inline constexpr const char* kGossipSyncRounds = "gossip.sync_rounds";
@@ -194,6 +198,7 @@ inline constexpr const char* kAppDroppedSamples = "app.metrics.dropped_samples";
 /// The instruments every snapshot of the process-wide registry must contain
 /// (the ctest mandatory-set check iterates this).
 [[nodiscard]] const std::vector<const char*>& mandatory_counters();
+[[nodiscard]] const std::vector<const char*>& mandatory_gauges();
 [[nodiscard]] const std::vector<const char*>& mandatory_histograms();
 
 }  // namespace ew::obs
