@@ -13,11 +13,11 @@ if(NOT rc_obs EQUAL 0)
   message(FATAL_ERROR "micro_obs --quick failed (exit ${rc_obs})")
 endif()
 
-execute_process(
-  COMMAND ${MICRO_PACKET} --benchmark_min_time=0.01 --benchmark_filter=BM_EncodePacket/64|BM_FrameParseChunked/1460
-  RESULT_VARIABLE rc_packet)
+# Wire path: --quick shrinks the iteration count but still asserts the
+# one-allocation-encode and zero-copy-parse budgets.
+execute_process(COMMAND ${MICRO_PACKET} --quick RESULT_VARIABLE rc_packet)
 if(NOT rc_packet EQUAL 0)
-  message(FATAL_ERROR "micro_packet smoke run failed (exit ${rc_packet})")
+  message(FATAL_ERROR "micro_packet --quick failed (exit ${rc_packet})")
 endif()
 
 # Reliable-call policy arms (retry/hedge vs bare call under injected loss).
@@ -32,4 +32,12 @@ endif()
 execute_process(COMMAND ${C10K_SOAK} --quick RESULT_VARIABLE rc_c10k)
 if(NOT rc_c10k EQUAL 0)
   message(FATAL_ERROR "c10k_soak --quick failed (exit ${rc_c10k})")
+endif()
+
+# Sharded scale gate: the same closed loop across SO_REUSEPORT reactor
+# shards. Non-zero exit means a lost/duplicated/failed reply, a stuck
+# client, a connection shortfall, or broken cross-shard distribution.
+execute_process(COMMAND ${C100K_SOAK} --quick RESULT_VARIABLE rc_c100k)
+if(NOT rc_c100k EQUAL 0)
+  message(FATAL_ERROR "c100k_soak --quick failed (exit ${rc_c100k})")
 endif()

@@ -55,6 +55,15 @@ class Writer {
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
+  /// Overwrite 4 already-written bytes at `offset` (little-endian). Lets a
+  /// single-pass encoder leave a placeholder for a value — a checksum, a
+  /// length — that is only known after the bytes it covers are written.
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
   [[nodiscard]] const Bytes& bytes() const { return buf_; }
   Bytes take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -89,6 +98,12 @@ class Reader {
   Result<Bytes> blob();
   /// Exactly n raw bytes.
   Result<Bytes> raw(std::size_t n);
+
+  /// Zero-copy view of the unread tail (does not consume). Valid as long as
+  /// the bytes the Reader was constructed over.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return data_.subspan(pos_);
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }

@@ -1,5 +1,7 @@
 #include "net/packet.hpp"
 
+#include <cstring>
+
 #include "obs/registry.hpp"
 
 namespace ew {
@@ -49,30 +51,46 @@ Bytes encode_packet(const Packet& p) {
   return w.take();
 }
 
-void FrameParser::feed(std::span<const std::uint8_t> data) {
-  if (poisoned_) return;
-  // Compact the consumed prefix occasionally so the buffer does not grow
-  // without bound on long-lived connections.
-  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+std::span<std::uint8_t> FrameParser::recv_buffer(std::size_t min_bytes) {
+  if (min_bytes == 0) min_bytes = 1;
+  // Compact the consumed prefix when it dominates the buffer, so a
+  // long-lived connection cannot pin memory behind pos_. A fully-consumed
+  // buffer resets for free.
+  if (pos_ == end_) {
+    pos_ = 0;
+    end_ = 0;
+  } else if (pos_ > 4096 && pos_ * 2 > end_) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
     pos_ = 0;
   }
-  // Grow geometrically up front: insert() alone reallocates to the exact
-  // size, so a stream of small reads would otherwise reallocate (and copy
-  // the whole reassembly buffer) on nearly every feed.
-  const std::size_t need = buf_.size() + data.size();
-  if (need > buf_.capacity()) {
-    buf_.reserve(std::max(need, buf_.capacity() * 2));
+  // Grow geometrically: resize() zero-fills only the new region and is
+  // amortized O(1), so a stream of small reads never re-copies the whole
+  // reassembly buffer per read.
+  if (buf_.size() - end_ < min_bytes) {
+    buf_.resize(std::max(end_ + min_bytes, buf_.size() * 2));
   }
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  return std::span<std::uint8_t>(buf_).subspan(end_);
 }
 
-Result<Packet> FrameParser::next() {
+void FrameParser::commit(std::size_t n) {
+  if (poisoned_) return;
+  end_ += n;
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> data) {
+  if (poisoned_ || data.empty()) return;
+  auto dst = recv_buffer(data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
+  commit(data.size());
+}
+
+Result<FrameView> FrameParser::peek_frame() {
   if (poisoned_) return Error{Err::kProtocol, "stream previously poisoned"};
   if (buffered() < wire::kHeaderSize) {
     return Error{Err::kUnavailable, "need header bytes"};
   }
-  Reader r(std::span<const std::uint8_t>(buf_).subspan(pos_));
+  Reader r(std::span<const std::uint8_t>(buf_).subspan(pos_, end_ - pos_));
   const auto magic = r.u32();
   const auto version = r.u8();
   const auto kind = r.u8();
@@ -101,33 +119,52 @@ Result<Packet> FrameParser::next() {
   if (buffered() < wire::kHeaderSize + *len) {
     return Error{Err::kUnavailable, "need payload bytes"};
   }
-  const std::size_t payload_at = pos_ + wire::kHeaderSize;
-  const auto payload_span =
-      std::span<const std::uint8_t>(buf_).subspan(payload_at, *len);
+  const auto payload_span = std::span<const std::uint8_t>(buf_).subspan(
+      pos_ + wire::kHeaderSize, *len);
   if (*sum != wire::checksum(*type, *seq, payload_span)) {
     poisoned_ = true;
     corrupt_frames_counter().inc();
     return Error{Err::kProtocol, "checksum mismatch"};
   }
+  FrameView v;
+  v.kind = static_cast<PacketKind>(*kind);
+  v.type = *type;
+  v.seq = *seq;
+  v.payload = payload_span;
+  return v;
+}
+
+Result<FrameView> FrameParser::next_view() {
+  auto v = peek_frame();
+  if (!v) return v;
+  pos_ += wire::kHeaderSize + v->payload.size();
+  return v;
+}
+
+Result<Packet> FrameParser::next() {
+  auto v = peek_frame();
+  if (!v) return v.error();
+  const std::size_t frame_size = wire::kHeaderSize + v->payload.size();
   Packet p;
-  p.kind = static_cast<PacketKind>(*kind);
-  p.type = *type;
-  p.seq = *seq;
-  if (pos_ == 0 && buf_.size() == wire::kHeaderSize + *len) {
-    // The frame is exactly the buffer: steal the buffer instead of copying
-    // the payload out (the common case — one whole packet per read on
-    // request/response traffic). Trimming the header is a memmove within
+  p.kind = v->kind;
+  p.type = v->type;
+  p.seq = v->seq;
+  if (pos_ == 0 && end_ == frame_size) {
+    // The frame is exactly the valid data: steal the buffer instead of
+    // copying the payload out (the common case — one whole packet per read
+    // on request/response traffic). Trimming the header is a memmove within
     // the stolen allocation, not a fresh allocation + copy.
     p.payload = std::move(buf_);
+    p.payload.resize(frame_size);  // shrink: drops any uncommitted tail
     p.payload.erase(p.payload.begin(),
                     p.payload.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderSize));
     buf_.clear();
     pos_ = 0;
+    end_ = 0;
     return p;
   }
-  p.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(payload_at),
-                   buf_.begin() + static_cast<std::ptrdiff_t>(payload_at + *len));
-  pos_ = payload_at + *len;
+  p.payload.assign(v->payload.begin(), v->payload.end());
+  pos_ += frame_size;
   return p;
 }
 

@@ -59,25 +59,70 @@ std::uint32_t checksum(MsgType type, std::uint64_t seq,
 /// Serialize a packet (header + payload) onto a byte buffer.
 Bytes encode_packet(const Packet& p);
 
+/// A parsed frame whose payload is a view into the parser's reassembly
+/// buffer — no copy. The span is valid only until the parser is touched
+/// again (feed / recv_buffer / commit / next / next_view); a handler that
+/// retains the payload must copy it out (to_packet does exactly that).
+struct FrameView {
+  PacketKind kind = PacketKind::kOneWay;
+  MsgType type = 0;
+  std::uint64_t seq = 0;
+  std::span<const std::uint8_t> payload;
+
+  /// Copy-out for handlers that keep the payload past the view's lifetime.
+  [[nodiscard]] Packet to_packet() const {
+    Packet p;
+    p.kind = kind;
+    p.type = type;
+    p.seq = seq;
+    p.payload.assign(payload.begin(), payload.end());
+    return p;
+  }
+};
+
 /// Incremental stream parser: feed arbitrary byte chunks, pop whole packets.
 /// After any error the parser is poisoned (the stream framing is lost and the
 /// connection must be dropped, as the paper's packet layer does).
+///
+/// Two input paths and two output paths share one reassembly buffer:
+///   * feed() copies a chunk in; recv_buffer()/commit() lets recv(2) write
+///     directly into the buffer instead (no intermediate chunk copy).
+///   * next() pops an owning Packet; next_view() returns a zero-copy
+///     FrameView into the buffer for hot paths that only *look* at the
+///     payload before deciding whether to keep it.
 class FrameParser {
  public:
   /// Append raw bytes received from the stream.
   void feed(std::span<const std::uint8_t> data);
+
+  /// Writable tail of the reassembly buffer, at least `min_bytes` long —
+  /// pass it to recv(2)/recv_into and commit() what actually arrived. Any
+  /// outstanding FrameView is invalidated (the buffer may compact or grow).
+  [[nodiscard]] std::span<std::uint8_t> recv_buffer(std::size_t min_bytes = 16384);
+  /// Declare `n` bytes of the last recv_buffer() span valid stream data.
+  void commit(std::size_t n);
 
   /// Extract the next complete packet, if any.
   /// Returns: packet; or Err::kProtocol if the stream is corrupt; or
   /// Err::kUnavailable when more bytes are needed (not an error condition).
   Result<Packet> next();
 
+  /// Zero-copy variant of next(): the returned view's payload points into
+  /// the reassembly buffer and is valid only until the parser is touched
+  /// again. Same error contract as next().
+  Result<FrameView> next_view();
+
   [[nodiscard]] bool poisoned() const { return poisoned_; }
-  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+  [[nodiscard]] std::size_t buffered() const { return end_ - pos_; }
 
  private:
-  Bytes buf_;
-  std::size_t pos_ = 0;
+  /// Parse+validate the header at pos_ without consuming. On success the
+  /// view's payload spans the frame's payload bytes in buf_.
+  Result<FrameView> peek_frame();
+
+  Bytes buf_;             // storage; only [pos_, end_) holds stream bytes
+  std::size_t pos_ = 0;   // consumed prefix
+  std::size_t end_ = 0;   // valid-data end (buf_.size() is raw capacity)
   bool poisoned_ = false;
 };
 

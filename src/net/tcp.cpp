@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <sys/select.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,11 +50,20 @@ Status set_nonblocking(const Fd& fd) {
   return {};
 }
 
-Result<Fd> tcp_listen(std::uint16_t port, int backlog) {
+Result<Fd> tcp_listen(std::uint16_t port, int backlog, bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Error{Err::kInternal, "socket: " + errno_str()};
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      return Error{Err::kInternal, "setsockopt(SO_REUSEPORT): " + errno_str()};
+    }
+#else
+    return Error{Err::kInternal, "SO_REUSEPORT not supported on this platform"};
+#endif
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
@@ -153,6 +163,30 @@ Result<std::size_t> send_some(const Fd& fd, std::span<const std::uint8_t> data) 
   return Error{Err::kClosed, "send: " + errno_str()};
 }
 
+Result<std::size_t> send_some(const Fd& fd,
+                              std::span<const std::span<const std::uint8_t>> segments) {
+  if (segments.empty()) return std::size_t{0};
+  // IOV_MAX is at least 16 everywhere; 64 frames per syscall is already far
+  // past the knee of the batching curve for our frame sizes.
+  constexpr std::size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  std::size_t n = 0;
+  for (const auto& seg : segments) {
+    if (seg.empty()) continue;
+    iov[n].iov_base = const_cast<std::uint8_t*>(seg.data());
+    iov[n].iov_len = seg.size();
+    if (++n == kMaxIov) break;
+  }
+  if (n == 0) return std::size_t{0};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = n;
+  const ssize_t sent = ::sendmsg(fd.get(), &msg, MSG_NOSIGNAL);
+  if (sent >= 0) return static_cast<std::size_t>(sent);
+  if (errno == EWOULDBLOCK || errno == EAGAIN) return std::size_t{0};
+  return Error{Err::kClosed, "sendmsg: " + errno_str()};
+}
+
 Result<std::size_t> recv_some(const Fd& fd, Bytes& out) {
   std::uint8_t buf[16384];
   const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
@@ -160,6 +194,15 @@ Result<std::size_t> recv_some(const Fd& fd, Bytes& out) {
     out.insert(out.end(), buf, buf + n);
     return static_cast<std::size_t>(n);
   }
+  if (n == 0) return Error{Err::kClosed, "peer closed"};
+  if (errno == EWOULDBLOCK || errno == EAGAIN) return std::size_t{0};
+  return Error{Err::kClosed, "recv: " + errno_str()};
+}
+
+Result<std::size_t> recv_into(const Fd& fd, std::span<std::uint8_t> out) {
+  if (out.empty()) return std::size_t{0};
+  const ssize_t n = ::recv(fd.get(), out.data(), out.size(), 0);
+  if (n > 0) return static_cast<std::size_t>(n);
   if (n == 0) return Error{Err::kClosed, "peer closed"};
   if (errno == EWOULDBLOCK || errno == EAGAIN) return std::size_t{0};
   return Error{Err::kClosed, "recv: " + errno_str()};

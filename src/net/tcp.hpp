@@ -52,7 +52,11 @@ class Fd {
 /// The default backlog admits a c10k-style connection storm (the kernel
 /// silently caps it at net.core.somaxconn); the reactor's accept loop
 /// drains the queue completely on every readiness event.
-Result<Fd> tcp_listen(std::uint16_t port, int backlog = 4096);
+/// With `reuse_port` set, several sockets (one per reactor shard) may listen
+/// on the same port and the kernel distributes inbound connections across
+/// them — the accept-side half of multi-core reactor sharding.
+Result<Fd> tcp_listen(std::uint16_t port, int backlog = 4096,
+                      bool reuse_port = false);
 
 /// The locally bound port of a socket (for port-0 listeners).
 Result<std::uint16_t> local_port(const Fd& fd);
@@ -96,10 +100,23 @@ Result<Fd> tcp_accept(const Fd& listener);
 /// error if the connection is dead.
 Result<std::size_t> send_some(const Fd& fd, std::span<const std::uint8_t> data);
 
+/// Scatter-gather variant: one sendmsg(2) over up to IOV_MAX byte ranges —
+/// several queued frames leave in a single syscall with no coalescing copy.
+/// Ranges beyond the iovec limit simply wait for the next flush. Returns
+/// bytes written (possibly 0 on EWOULDBLOCK), or an error if the connection
+/// is dead.
+Result<std::size_t> send_some(const Fd& fd,
+                              std::span<const std::span<const std::uint8_t>> segments);
+
 /// Read whatever is available (non-blocking) into `out` (appending).
 /// Returns bytes read; 0 bytes with ok() means EWOULDBLOCK; kClosed means
 /// orderly shutdown by the peer.
 Result<std::size_t> recv_some(const Fd& fd, Bytes& out);
+
+/// Read directly into caller-provided storage (non-blocking) — the zero-copy
+/// receive half: pass FrameParser::recv_buffer() so stream bytes land in the
+/// reassembly buffer with no intermediate chunk. Same contract as recv_some.
+Result<std::size_t> recv_into(const Fd& fd, std::span<std::uint8_t> out);
 
 /// Block until `fd` is readable or `timeout` elapses (select()).
 /// Returns true if readable, false on time-out.

@@ -1,5 +1,6 @@
 #include "net/tcp_transport.hpp"
 
+#include <array>
 #include <utility>
 
 #include "common/log.hpp"
@@ -9,30 +10,17 @@ namespace ew {
 
 namespace {
 
-/// Wrap a packet's payload with (src, dst) routing for the wire.
-Packet route(const Packet& p, const Endpoint& src, const Endpoint& dst) {
-  Writer w(p.payload.size() + 64);
-  w.str(src.host);
-  w.u16(src.port);
-  w.str(dst.host);
-  w.u16(dst.port);
-  w.raw(p.payload);
-  Packet out;
-  out.kind = p.kind;
-  out.type = p.type;
-  out.seq = p.seq;
-  out.payload = w.take();
-  return out;
-}
-
-struct Routed {
+/// Routing prefix parsed straight off a frame view. The endpoints own their
+/// strings (they outlive the handler call); `body` stays a view into the
+/// parser's buffer and is copied only on delivery.
+struct RoutedView {
   Endpoint src;
   Endpoint dst;
-  Packet inner;
+  std::span<const std::uint8_t> body;
 };
 
-Result<Routed> unroute(Packet&& p) {
-  Reader r(p.payload);
+Result<RoutedView> unroute_view(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
   auto sh = r.str();
   if (!sh) return sh.error();
   auto sp = r.u16();
@@ -41,31 +29,64 @@ Result<Routed> unroute(Packet&& p) {
   if (!dh) return dh.error();
   auto dp = r.u16();
   if (!dp) return dp.error();
-  auto body = r.raw(r.remaining());
-  Routed out;
+  RoutedView out;
   out.src = Endpoint{std::move(*sh), *sp};
   out.dst = Endpoint{std::move(*dh), *dp};
-  out.inner.kind = p.kind;
-  out.inner.type = p.type;
-  out.inner.seq = p.seq;
-  out.inner.payload = std::move(*body);
+  out.body = r.rest();
   return out;
 }
 
-/// Once flushed bytes pass this mark the outbox prefix is erased; bounds
-/// the memory a long-lived, slowly draining connection pins.
-constexpr std::size_t kOutboxCompactThreshold = 1 << 20;
+/// Frames fed to one sendmsg(2); matches the iovec cap in send_some.
+constexpr std::size_t kFlushBatch = 64;
 
 }  // namespace
 
-TcpTransport::TcpTransport(Reactor& reactor)
+Bytes encode_routed_frame(const Packet& p, const Endpoint& src,
+                          const Endpoint& dst) {
+  // Wire payload = routing prefix + application payload; sized exactly so
+  // the whole frame is one allocation written front to back.
+  const std::size_t routing =
+      4 + src.host.size() + 2 + 4 + dst.host.size() + 2;
+  const std::size_t wire_len = routing + p.payload.size();
+  Writer w(wire::kHeaderSize + wire_len);
+  w.u32(wire::kMagic);
+  w.u8(wire::kVersion);
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u16(p.type);
+  w.u64(p.seq);
+  w.u32(static_cast<std::uint32_t>(wire_len));
+  w.u32(0);  // checksum placeholder — covers bytes not yet written
+  w.str(src.host);
+  w.u16(src.port);
+  w.str(dst.host);
+  w.u16(dst.port);
+  w.raw(p.payload);
+  w.patch_u32(wire::kHeaderSize - 4,
+              wire::checksum(p.type, p.seq,
+                             std::span<const std::uint8_t>(w.bytes())
+                                 .subspan(wire::kHeaderSize)));
+  return w.take();
+}
+
+TcpTransport::TcpTransport(Reactor& reactor, std::string_view metrics_label)
     : reactor_(reactor),
       backpressure_rejects_(
           &obs::registry().counter(obs::names::kNetBackpressureRejects)),
       frames_truncated_(
           &obs::registry().counter(obs::names::kNetFramesTruncated)),
       conns_open_(&obs::registry().gauge(obs::names::kNetConnsOpen)),
-      outbox_bytes_(&obs::registry().gauge(obs::names::kNetOutboxBytes)) {}
+      outbox_bytes_(&obs::registry().gauge(obs::names::kNetOutboxBytes)) {
+  if (!metrics_label.empty()) {
+    auto& reg = obs::registry();
+    backpressure_rejects_shard_ =
+        &reg.counter(obs::names::kNetBackpressureRejects, metrics_label);
+    frames_truncated_shard_ =
+        &reg.counter(obs::names::kNetFramesTruncated, metrics_label);
+    conns_open_shard_ = &reg.gauge(obs::names::kNetConnsOpen, metrics_label);
+    outbox_bytes_shard_ =
+        &reg.gauge(obs::names::kNetOutboxBytes, metrics_label);
+  }
+}
 
 TcpTransport::~TcpTransport() {
   for (auto& [ep, l] : listeners_) reactor_.unwatch_readable(l.fd.get());
@@ -74,7 +95,7 @@ TcpTransport::~TcpTransport() {
     if (c.writable_watched) reactor_.unwatch_writable(fd);
     if (c.connect_timer != kInvalidTimer) reactor_.cancel(c.connect_timer);
   }
-  conns_open_->add(-static_cast<double>(conns_.size()));
+  account_conns(-static_cast<double>(conns_.size()));
   account_outbox(-static_cast<std::ptrdiff_t>(total_outbox_bytes_));
 }
 
@@ -82,13 +103,21 @@ void TcpTransport::account_outbox(std::ptrdiff_t delta) {
   total_outbox_bytes_ = static_cast<std::size_t>(
       static_cast<std::ptrdiff_t>(total_outbox_bytes_) + delta);
   outbox_bytes_->add(static_cast<double>(delta));
+  if (outbox_bytes_shard_ != nullptr) {
+    outbox_bytes_shard_->add(static_cast<double>(delta));
+  }
+}
+
+void TcpTransport::account_conns(double delta) {
+  conns_open_->add(delta);
+  if (conns_open_shard_ != nullptr) conns_open_shard_->add(delta);
 }
 
 Status TcpTransport::bind(const Endpoint& self, PacketHandler handler) {
   if (listeners_.contains(self)) {
     return Status(Err::kRejected, "endpoint already bound: " + self.to_string());
   }
-  auto fd = tcp_listen(self.port);
+  auto fd = tcp_listen(self.port, /*backlog=*/4096, reuse_port_);
   if (!fd) return fd.error();
   const int raw = fd->get();
   listeners_.emplace(self, Listener{std::move(*fd), std::move(handler)});
@@ -119,7 +148,7 @@ int TcpTransport::ensure_connection(const Endpoint& to, Status& status) {
   conn.connecting = !started->completed;
   conns_.emplace(raw, std::move(conn));
   peer_conn_[to] = raw;
-  conns_open_->add(1);
+  account_conns(1);
   reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
   if (!started->completed) {
     // The handshake verdict selects writable (success and failure alike);
@@ -146,17 +175,20 @@ Status TcpTransport::send(const Endpoint& from, const Endpoint& to, Packet packe
   Status status;
   const int fd = ensure_connection(to, status);
   if (fd < 0) return status;
-  const Bytes frame = encode_packet(route(packet, from, to));
+  Bytes frame = encode_routed_frame(packet, from, to);
   auto& conn = conns_.at(fd);
-  const std::size_t pending = conn.outbox.size() - conn.outbox_pos;
-  if (pending + frame.size() > max_outbox_bytes_) {
+  if (conn.outbox_bytes + frame.size() > max_outbox_bytes_) {
     backpressure_rejects_->inc();
+    if (backpressure_rejects_shard_ != nullptr) {
+      backpressure_rejects_shard_->inc();
+    }
     return Status(Err::kOverloaded,
                   "outbox full to " + to.to_string() + " (" +
-                      std::to_string(pending) + " bytes pending)");
+                      std::to_string(conn.outbox_bytes) + " bytes pending)");
   }
-  conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  conn.outbox_bytes += frame.size();
   account_outbox(static_cast<std::ptrdiff_t>(frame.size()));
+  conn.outbox.push_back(std::move(frame));
   // Still dialling: the frame rides the outbox until the handshake verdict
   // arrives via on_conn_writable. Queueing is success — delivery was never
   // guaranteed (see Transport::send).
@@ -168,31 +200,53 @@ Status TcpTransport::flush(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return Status(Err::kClosed, "connection gone");
   Conn& c = it->second;
-  while (c.outbox_pos < c.outbox.size()) {
-    auto n = send_some(c.fd, std::span(c.outbox).subspan(c.outbox_pos));
+  while (!c.outbox.empty()) {
+    // Gather the head of the ring into one sendmsg: the front frame from
+    // its partial-send offset, then whole frames. No bytes move — the
+    // iovecs point straight at the queued buffers.
+    std::array<std::span<const std::uint8_t>, kFlushBatch> segs;
+    std::size_t nsegs = 0;
+    std::size_t attempted = 0;
+    for (const Bytes& f : c.outbox) {
+      std::span<const std::uint8_t> seg(f);
+      if (nsegs == 0) seg = seg.subspan(c.outbox_head);
+      segs[nsegs++] = seg;
+      attempted += seg.size();
+      if (nsegs == segs.size()) break;
+    }
+    auto n = send_some(c.fd, std::span(segs.data(), nsegs));
     if (!n) {
       close_conn(fd);
       return n.error();
     }
-    if (*n == 0) {
-      // Socket buffer full; resume when writable.
+    if (*n > 0) {
+      c.outbox_bytes -= *n;
+      account_outbox(-static_cast<std::ptrdiff_t>(*n));
+      // Retire fully-sent frames; a partial tail just advances the head
+      // offset (the next flush resumes mid-frame, still copy-free).
+      std::size_t sent = *n;
+      while (sent > 0) {
+        const std::size_t front_left = c.outbox.front().size() - c.outbox_head;
+        if (sent >= front_left) {
+          sent -= front_left;
+          c.outbox.pop_front();
+          c.outbox_head = 0;
+        } else {
+          c.outbox_head += sent;
+          sent = 0;
+        }
+      }
+    }
+    if (*n < attempted) {
+      // Socket buffer full (or short write); resume when writable.
       if (!c.writable_watched) {
         c.writable_watched = true;
         reactor_.watch_writable(fd, [this, fd] { on_conn_writable(fd); });
       }
-      if (c.outbox_pos >= kOutboxCompactThreshold) {
-        c.outbox.erase(c.outbox.begin(),
-                       c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_pos));
-        c.outbox_pos = 0;
-      }
       return {};
     }
-    c.outbox_pos += *n;
-    account_outbox(-static_cast<std::ptrdiff_t>(*n));
   }
-  c.outbox.clear();
-  c.outbox_pos = 0;
-  if (c.writable_watched) {
+  if (c.writable_watched && !c.connecting) {
     c.writable_watched = false;
     reactor_.unwatch_writable(fd);
   }
@@ -207,14 +261,13 @@ void TcpTransport::close_conn(int fd) {
   if (it->second.connect_timer != kInvalidTimer) {
     reactor_.cancel(it->second.connect_timer);
   }
-  account_outbox(-static_cast<std::ptrdiff_t>(it->second.outbox.size() -
-                                              it->second.outbox_pos));
+  account_outbox(-static_cast<std::ptrdiff_t>(it->second.outbox_bytes));
   if (it->second.peer.valid()) {
     auto pit = peer_conn_.find(it->second.peer);
     if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
   }
   conns_.erase(it);
-  conns_open_->add(-1);
+  account_conns(-1);
 }
 
 void TcpTransport::on_conn_writable(int fd) {
@@ -256,7 +309,7 @@ void TcpTransport::on_listener_readable(int listener_fd) {
     conn.id = next_conn_id_++;
     conn.fd = std::move(*accepted);
     conns_.emplace(raw, std::move(conn));
-    conns_open_->add(1);
+    account_conns(1);
     reactor_.watch_readable(raw, [this, raw] { on_conn_readable(raw); });
   }
 }
@@ -264,8 +317,11 @@ void TcpTransport::on_listener_readable(int listener_fd) {
 void TcpTransport::on_conn_readable(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
-  Bytes chunk;
-  auto n = recv_some(it->second.fd, chunk);
+  // Zero-copy receive: recv(2) writes straight into the parser's reassembly
+  // buffer — no intermediate chunk, no feed() copy. 4 KiB floor: the parser
+  // grows geometrically for bigger frames, and a process holding thousands
+  // of idle connections cannot afford a 16 KiB-resident buffer per conn.
+  auto n = recv_into(it->second.fd, it->second.parser.recv_buffer(4096));
   if (!n) {
     if (n.code() == Err::kClosed) {
       // Peer half-closed. Frames already complete in the parser buffer must
@@ -277,6 +333,7 @@ void TcpTransport::on_conn_readable(int fd) {
       if (again == conns_.end() || again->second.id != id) return;
       if (again->second.parser.buffered() > 0 && !again->second.parser.poisoned()) {
         frames_truncated_->inc();
+        if (frames_truncated_shard_ != nullptr) frames_truncated_shard_->inc();
         EW_DEBUG << "TcpTransport: peer closed mid-frame ("
                  << again->second.parser.buffered() << " bytes dropped)";
       }
@@ -285,7 +342,7 @@ void TcpTransport::on_conn_readable(int fd) {
     return;
   }
   if (*n == 0) return;
-  it->second.parser.feed(chunk);
+  it->second.parser.commit(*n);
   dispatch_frames(fd);
 }
 
@@ -305,16 +362,19 @@ void TcpTransport::dispatch_frames(int fd) {
     } else if (it->second.id != conn_id) {
       return;  // fd number reused by a different connection mid-loop
     }
-    auto pkt = it->second.parser.next();
-    if (!pkt) {
-      if (pkt.code() == Err::kProtocol) {
+    // Zero-copy pop: the view's payload points into the parser buffer and
+    // stays valid until the parser is touched again — i.e. through the
+    // routing parse and the delivery copy below, but not into the handler.
+    auto view = it->second.parser.next_view();
+    if (!view) {
+      if (view.code() == Err::kProtocol) {
         EW_WARN << "TcpTransport: corrupt stream from "
                 << it->second.peer.to_string() << ", dropping connection";
         close_conn(fd);
       }
       return;
     }
-    auto routed = unroute(std::move(*pkt));
+    auto routed = unroute_view(view->payload);
     if (!routed) {
       EW_WARN << "TcpTransport: bad routing header, dropping connection";
       close_conn(fd);
@@ -335,11 +395,19 @@ void TcpTransport::dispatch_frames(int fd) {
     }
     auto lit = listeners_.find(routed->dst);
     if (lit == listeners_.end()) {
+      // Frame already consumed by next_view(); nothing to copy, move on.
       EW_DEBUG << "TcpTransport: no local endpoint " << routed->dst.to_string();
       continue;
     }
+    // A local endpoint takes delivery: copy the payload out of the parser
+    // buffer now (the one copy on the receive path).
+    Packet inner;
+    inner.kind = view->kind;
+    inner.type = view->type;
+    inner.seq = view->seq;
+    inner.payload.assign(routed->body.begin(), routed->body.end());
     const PacketHandler handler = lit->second.handler;
-    handler(IncomingMessage{routed->src, std::move(routed->inner)});
+    handler(IncomingMessage{std::move(routed->src), std::move(inner)});
   }
 }
 

@@ -6,14 +6,26 @@
 // reuse the connection a request arrived on (components are not always
 // re-connectable across the federated environments of Section 5).
 //
-// All methods must be called on the owning Reactor's thread. Connections are
-// created lazily on first send and cached per peer endpoint. Dialling is
-// asynchronous: send() starts a non-blocking connect, queues the frame, and
-// returns — a dead or black-holed peer never stalls the event loop; the
-// connect verdict arrives through a writable watcher (or the connect timer)
-// and a failed dial simply tears the connection down, dropping its queued
-// frames. Reliability above that is the job of the time-out / retry
-// machinery in Node and the forecasting layer.
+// All methods must be called on the owning Reactor's thread; one process may
+// run many transports on many reactor shards (net/shard_pool.hpp), each
+// strictly confined to its own shard. Connections are created lazily on
+// first send and cached per peer endpoint. Dialling is asynchronous: send()
+// starts a non-blocking connect, queues the frame, and returns — a dead or
+// black-holed peer never stalls the event loop; the connect verdict arrives
+// through a writable watcher (or the connect timer) and a failed dial simply
+// tears the connection down, dropping its queued frames. Reliability above
+// that is the job of the time-out / retry machinery in Node and the
+// forecasting layer.
+//
+// The wire path is built to touch bytes once per direction:
+//   * send — encode_routed_frame() writes header + routing + payload into
+//     one exact-size buffer; frames queue in a per-connection ring of owned
+//     buffers and leave via scatter-gather sendmsg (several frames per
+//     syscall, no prefix-compaction memmove, no coalescing copy);
+//   * receive — recv(2) lands directly in the FrameParser's reassembly
+//     buffer (FrameParser::recv_buffer) and frames are dispatched as
+//     zero-copy views; the payload is copied out only once a bound local
+//     endpoint actually takes delivery.
 //
 // Backpressure is explicit: each connection's outbox is bounded
 // (set_max_outbox_bytes), and a send that would overflow it fails
@@ -22,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 
 #include "net/reactor.hpp"
@@ -30,9 +43,20 @@
 
 namespace ew {
 
+/// Single-allocation encode of a routed wire frame: packet header +
+/// (src, dst) routing prefix + payload, written in place with the checksum
+/// patched in after the bytes it covers. This is the transport's send-path
+/// encoder; exposed so benches and tests can pin its cost and wire shape.
+Bytes encode_routed_frame(const Packet& p, const Endpoint& src,
+                          const Endpoint& dst);
+
 class TcpTransport final : public Transport {
  public:
-  explicit TcpTransport(Reactor& reactor);
+  /// `metrics_label` tags this transport's net.* instruments — per-shard
+  /// deployments pass "shard=K" so each shard's gauges/counters are visible
+  /// individually. The unlabelled process-wide instruments are always
+  /// updated too (by atomic delta, so shards sum instead of clobbering).
+  explicit TcpTransport(Reactor& reactor, std::string_view metrics_label = {});
   ~TcpTransport() override;
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
@@ -40,6 +64,11 @@ class TcpTransport final : public Transport {
   Status bind(const Endpoint& self, PacketHandler handler) override;
   void unbind(const Endpoint& self) override;
   Status send(const Endpoint& from, const Endpoint& to, Packet packet) override;
+
+  /// Bind listeners with SO_REUSEPORT so several transports (one per
+  /// reactor shard) can share one port and let the kernel spread inbound
+  /// connections across them. Affects subsequent bind() calls.
+  void set_reuse_port(bool on) { reuse_port_ = on; }
 
   /// Budget for an asynchronous dial to complete (default 2 s). The dial
   /// itself never blocks the reactor; this bounds how long queued frames
@@ -60,8 +89,12 @@ class TcpTransport final : public Transport {
     std::uint64_t id = 0;  // unique per Conn; guards against fd-number reuse
     Fd fd;
     FrameParser parser;
-    Bytes outbox;
-    std::size_t outbox_pos = 0;
+    /// Outbox ring: whole encoded frames, oldest first. Flushed by
+    /// scatter-gather sendmsg; `outbox_head` is how much of the front frame
+    /// already left. Fully-sent frames pop — no compaction memmove, ever.
+    std::deque<Bytes> outbox;
+    std::size_t outbox_head = 0;
+    std::size_t outbox_bytes = 0;  // unsent bytes across the ring
     Endpoint peer;  // last known routable address of the other side
     bool writable_watched = false;
     bool connecting = false;             // dial started, verdict pending
@@ -79,16 +112,19 @@ class TcpTransport final : public Transport {
   void on_listener_readable(int listener_fd);
   void dispatch_frames(int fd);
   int ensure_connection(const Endpoint& to, Status& status);
-  /// Adjust the shared outbox accounting (and its gauge) by +/- delta. The
-  /// gauges aggregate by delta so several transports in one process (each
-  /// component pool has its own) sum instead of clobbering each other.
+  /// Adjust the shared outbox accounting (and its gauges) by +/- delta. The
+  /// gauges aggregate by delta so several transports in one process — on
+  /// one shard or across shards — sum instead of clobbering each other
+  /// (Gauge::add is a CAS loop, safe under concurrent shard threads).
   void account_outbox(std::ptrdiff_t delta);
+  void account_conns(double delta);
 
   Reactor& reactor_;
   Duration connect_timeout_ = 2 * kSecond;
   std::size_t max_outbox_bytes_ = 64 * 1024 * 1024;
   std::size_t total_outbox_bytes_ = 0;
   std::uint64_t next_conn_id_ = 1;
+  bool reuse_port_ = false;
   std::unordered_map<Endpoint, Listener, EndpointHash> listeners_;
   std::unordered_map<int, Conn> conns_;                       // keyed by fd
   std::unordered_map<Endpoint, int, EndpointHash> peer_conn_;  // peer -> fd
@@ -96,6 +132,11 @@ class TcpTransport final : public Transport {
   obs::Counter* frames_truncated_;
   obs::Gauge* conns_open_;
   obs::Gauge* outbox_bytes_;
+  // Per-shard labelled twins (null when no metrics label was given).
+  obs::Counter* backpressure_rejects_shard_ = nullptr;
+  obs::Counter* frames_truncated_shard_ = nullptr;
+  obs::Gauge* conns_open_shard_ = nullptr;
+  obs::Gauge* outbox_bytes_shard_ = nullptr;
 };
 
 }  // namespace ew

@@ -379,5 +379,155 @@ TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
   EXPECT_EQ(stat(obs::names::kNetShortCircuits), 1u);  // nothing shed after recovery
 }
 
+// --------------------------------------------------------------------------
+// Backpressure (Err::kOverloaded) end-to-end through the call layer.
+//
+// TcpTransport rejects a send synchronously with kOverloaded when the
+// destination's outbox is full. That verdict is about OUR queue, not the
+// server: the retry policy must treat it as retryable, while the circuit
+// breaker and the RTT forecaster must never observe it (a full local outbox
+// says nothing about the peer's health or round-trip time).
+
+/// Transport wrapper that fails sends synchronously with Err::kOverloaded —
+/// the TcpTransport backpressure verdict — for as long as `reject_requests`
+/// is armed. Binds and non-request traffic pass straight through.
+class BackpressureTransport final : public Transport {
+ public:
+  explicit BackpressureTransport(Transport& inner) : inner_(inner) {}
+  Status bind(const Endpoint& self, PacketHandler handler) override {
+    return inner_.bind(self, std::move(handler));
+  }
+  void unbind(const Endpoint& self) override { inner_.unbind(self); }
+  Status send(const Endpoint& from, const Endpoint& to, Packet p) override {
+    if (reject_requests > 0 && p.kind == PacketKind::kRequest) {
+      --reject_requests;
+      ++rejected;
+      return Status(Err::kOverloaded, "outbox full (injected)");
+    }
+    return inner_.send(from, to, std::move(p));
+  }
+
+  int reject_requests = 0;  // how many more requests to reject
+  int rejected = 0;         // how many were rejected so far
+
+ private:
+  Transport& inner_;
+};
+
+class OverloadedCallTest : public ::testing::Test {
+ protected:
+  OverloadedCallTest()
+      : transport(events),
+        client_transport(transport),
+        server(events, transport, Endpoint{"server", 1}),
+        client(events, client_transport, Endpoint{"client", 1}) {
+    EXPECT_TRUE(server.start().ok());
+    EXPECT_TRUE(client.start().ok());
+    server.handle(kEcho, [](const IncomingMessage& m, Responder r) {
+      r.ok(m.packet.payload);
+    });
+    client.call_policy().set_stats_sink(&sink);
+    client.set_rtt_observer([this](const Endpoint&, MsgType, Duration, bool) {
+      ++rtt_observations;
+    });
+  }
+
+  std::uint64_t stat(const char* name) const {
+    return sink.registry().counter(name).value();
+  }
+
+  sim::EventQueue events;
+  InProcTransport transport;
+  BackpressureTransport client_transport;
+  Node server;
+  Node client;
+  AggregateCallStats sink;
+  int rtt_observations = 0;
+};
+
+TEST_F(OverloadedCallTest, OverloadedIsRetriedAndRecovers) {
+  client_transport.reject_requests = 1;  // first attempt bounces off the outbox
+  CallOptions o = CallOptions::fixed(200 * kMillisecond);
+  o.retry = RetryPolicy::standard(3);
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {7}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(got->value(), Bytes{7});
+  EXPECT_EQ(client_transport.rejected, 1);
+  // The rejected attempt is retried via backoff — no attempt timer had to
+  // fire first, because the failure was synchronous.
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 2u);
+  EXPECT_EQ(stat(obs::names::kNetRetries), 1u);
+  EXPECT_EQ(stat(obs::names::kNetTimeoutsFired), 0u);
+  EXPECT_EQ(stat(obs::names::kNetCallsOk), 1u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+TEST_F(OverloadedCallTest, ExhaustedOverloadSurfacesAsOverloaded) {
+  client_transport.reject_requests = 1000;  // every attempt bounces
+  CallOptions o = CallOptions::fixed(200 * kMillisecond);
+  o.retry = RetryPolicy::standard(3);
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {}, std::move(o),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  // The caller learns the true verdict, not a synthetic time-out.
+  EXPECT_EQ(got->code(), Err::kOverloaded);
+  EXPECT_EQ(stat(obs::names::kNetAttempts), 3u);
+  EXPECT_EQ(stat(obs::names::kNetRetries), 2u);
+  EXPECT_EQ(client.outstanding_calls(), 0u);
+}
+
+TEST_F(OverloadedCallTest, BreakerNeverObservesOverload) {
+  client.call_policy().set_breaker_enabled(true);
+  client_transport.reject_requests = 1000;
+  // 3 calls x 3 attempts = 9 consecutive kOverloaded failures — far past the
+  // breaker's 5-failure threshold, were it (wrongly) counting them.
+  for (int i = 0; i < 3; ++i) {
+    CallOptions o = CallOptions::fixed(100 * kMillisecond);
+    o.retry = RetryPolicy::standard(3);
+    client.call(server.self(), kEcho, {}, std::move(o), [](Result<Bytes>) {});
+    events.run_until_idle();
+  }
+  EXPECT_EQ(client_transport.rejected, 9);
+  CircuitBreaker& b = client.call_policy().breakers().at(server.self());
+  EXPECT_EQ(b.times_opened(), 0u);
+  EXPECT_EQ(b.peek_state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(stat(obs::names::kNetShortCircuits), 0u);
+  // The outbox drains: the very next call flows — nothing was tripped, no
+  // probe window to wait out.
+  client_transport.reject_requests = 0;
+  std::optional<Result<Bytes>> got;
+  client.call(server.self(), kEcho, {4}, CallOptions::fixed(100 * kMillisecond),
+              [&](Result<Bytes> r) { got = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(got && got->ok());
+  EXPECT_EQ(stat(obs::names::kNetShortCircuits), 0u);
+}
+
+TEST_F(OverloadedCallTest, ForecasterNeverObservesOverload) {
+  client_transport.reject_requests = 1000;
+  CallOptions o = CallOptions::fixed(100 * kMillisecond);
+  o.retry = RetryPolicy::standard(3);
+  client.call(server.self(), kEcho, {}, std::move(o), [](Result<Bytes>) {});
+  events.run_until_idle();
+  // Three rejected attempts: zero RTT observations, zero forecaster events
+  // — a full local outbox must not poison the per-server RTT model.
+  EXPECT_EQ(client_transport.rejected, 3);
+  EXPECT_EQ(rtt_observations, 0);
+  EXPECT_EQ(client.call_policy().timeouts().bank().tracked_events(), 0u);
+  // A real round trip DOES feed both — the exclusion is specific to
+  // backpressure, not a dead observer.
+  client_transport.reject_requests = 0;
+  client.call(server.self(), kEcho, {1}, CallOptions::fixed(100 * kMillisecond),
+              [](Result<Bytes>) {});
+  events.run_until_idle();
+  EXPECT_EQ(rtt_observations, 1);
+  EXPECT_EQ(client.call_policy().timeouts().bank().tracked_events(), 1u);
+}
+
 }  // namespace
 }  // namespace ew

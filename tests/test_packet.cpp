@@ -2,7 +2,11 @@
 // reassembly, and hostile-input handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "net/packet.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/registry.hpp"
 
 namespace ew {
@@ -236,6 +240,176 @@ TEST(FrameParser, MaxPayloadBoundaryAccepted) {
   FrameParser fp;
   fp.feed(wire);
   EXPECT_TRUE(fp.next().ok());
+}
+
+// --------------------------------------------------------------------------
+// The zero-copy receive path (PR 6): recv_buffer/commit in, next_view out.
+
+TEST(FrameView, NextViewRoundTripsWithoutOwnership) {
+  const Packet p = make_packet(PacketKind::kRequest, 21, 777, {4, 5, 6, 7});
+  FrameParser fp;
+  fp.feed(encode_packet(p));
+  auto v = fp.next_view();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->kind, PacketKind::kRequest);
+  EXPECT_EQ(v->type, 21);
+  EXPECT_EQ(v->seq, 777u);
+  ASSERT_EQ(v->payload.size(), 4u);
+  EXPECT_EQ(Bytes(v->payload.begin(), v->payload.end()), (Bytes{4, 5, 6, 7}));
+  // to_packet materializes an owning copy, equal to the original.
+  const Packet owned = v->to_packet();
+  EXPECT_EQ(owned.kind, p.kind);
+  EXPECT_EQ(owned.type, p.type);
+  EXPECT_EQ(owned.seq, p.seq);
+  EXPECT_EQ(owned.payload, p.payload);
+  EXPECT_EQ(fp.next_view().code(), Err::kUnavailable);
+}
+
+TEST(FrameView, RecvBufferCommitReassemblesChunkedStream) {
+  // The recv(2) path: ask for buffer space, copy a chunk in, commit — no
+  // feed(). Frames must reassemble across arbitrary chunk splits.
+  Bytes wire;
+  const int kPackets = 5;
+  for (int i = 0; i < kPackets; ++i) {
+    const Bytes one = encode_packet(make_packet(
+        PacketKind::kOneWay, static_cast<MsgType>(i),
+        static_cast<std::uint64_t>(i), Bytes(static_cast<std::size_t>(i) * 9, 0xAB)));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameParser fp;
+  std::size_t got = 0;
+  const std::size_t chunk = 13;
+  for (std::size_t off = 0; off < wire.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, wire.size() - off);
+    auto dst = fp.recv_buffer(len);
+    ASSERT_GE(dst.size(), len);
+    std::memcpy(dst.data(), wire.data() + off, len);
+    fp.commit(len);
+    for (;;) {
+      auto v = fp.next_view();
+      if (!v.ok()) {
+        ASSERT_EQ(v.code(), Err::kUnavailable);
+        break;
+      }
+      EXPECT_EQ(v->type, got);
+      EXPECT_EQ(v->payload.size(), got * 9);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, static_cast<std::size_t>(kPackets));
+  EXPECT_EQ(fp.buffered(), 0u);
+}
+
+TEST(FrameView, NextAndNextViewInterleave) {
+  // Both pop paths share one cursor; mixing them must walk the stream in
+  // order with no frame seen twice.
+  FrameParser fp;
+  for (int i = 0; i < 4; ++i) {
+    fp.feed(encode_packet(make_packet(PacketKind::kOneWay,
+                                      static_cast<MsgType>(i),
+                                      static_cast<std::uint64_t>(i), {static_cast<std::uint8_t>(i)})));
+  }
+  auto a = fp.next();        // owning
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->type, 0);
+  auto b = fp.next_view();   // view
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->type, 1);
+  auto c = fp.next();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->type, 2);
+  auto d = fp.next_view();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->type, 3);
+  EXPECT_EQ(fp.next().code(), Err::kUnavailable);
+}
+
+TEST(FrameView, ChecksumMismatchPoisonsViewPath) {
+  Bytes wire = encode_packet(make_packet(PacketKind::kOneWay, 1, 7, {1, 2, 3}));
+  wire.back() ^= 0x01;
+  FrameParser fp;
+  auto dst = fp.recv_buffer(wire.size());
+  std::memcpy(dst.data(), wire.data(), wire.size());
+  fp.commit(wire.size());
+  EXPECT_EQ(fp.next_view().code(), Err::kProtocol);
+  EXPECT_TRUE(fp.poisoned());
+  // A poisoned parser ignores further commits too.
+  fp.commit(0);
+  EXPECT_EQ(fp.next_view().code(), Err::kProtocol);
+}
+
+TEST(FrameView, RecvBufferGrowsAndCompacts) {
+  // Large frame split across many small recv_buffer/commit rounds: the
+  // buffer must grow to fit and keep the bytes straight; after consuming,
+  // fresh buffers start from a reset cursor.
+  const Bytes big(200'000, 0x3C);
+  const Bytes wire =
+      encode_packet(make_packet(PacketKind::kRequest, 9, 42, big));
+  FrameParser fp;
+  const std::size_t chunk = 4096;
+  for (std::size_t off = 0; off < wire.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, wire.size() - off);
+    auto dst = fp.recv_buffer(len);
+    std::memcpy(dst.data(), wire.data() + off, len);
+    fp.commit(len);
+  }
+  auto v = fp.next_view();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->payload.size(), big.size());
+  EXPECT_TRUE(std::equal(v->payload.begin(), v->payload.end(), big.begin()));
+  EXPECT_EQ(fp.buffered(), 0u);
+  // The parser remains usable on the owning path afterwards.
+  fp.feed(encode_packet(make_packet(PacketKind::kOneWay, 2, 43, {1})));
+  auto p2 = fp.next();
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->payload, (Bytes{1}));
+}
+
+// --------------------------------------------------------------------------
+// encode_routed_frame: the transport's single-allocation send-path encoder.
+
+TEST(RoutedFrame, BytesMatchTheTwoPassReference) {
+  // The single-pass encoder (header with checksum patched in after the
+  // fact) must produce byte-identical wire to the obvious two-pass
+  // reference: build the routed payload, then encode_packet it. Peers from
+  // before the PR-6 optimization stay interoperable.
+  const Packet p = make_packet(PacketKind::kRequest, 33, 991, {10, 20, 30});
+  const Endpoint src{"10.1.2.3", 4444};
+  const Endpoint dst{"localhost", 5555};
+
+  Writer routed(p.payload.size() + 64);
+  routed.str(src.host);
+  routed.u16(src.port);
+  routed.str(dst.host);
+  routed.u16(dst.port);
+  routed.raw(p.payload);
+  Packet reference;
+  reference.kind = p.kind;
+  reference.type = p.type;
+  reference.seq = p.seq;
+  reference.payload = routed.take();
+
+  EXPECT_EQ(encode_routed_frame(p, src, dst), encode_packet(reference));
+}
+
+TEST(RoutedFrame, ParsesAndUnroutesThroughTheViewPath) {
+  const Packet p = make_packet(PacketKind::kOneWay, 8, 5, {0xDE, 0xAD});
+  const Endpoint src{"127.0.0.1", 1000};
+  const Endpoint dst{"127.0.0.1", 2000};
+  FrameParser fp;
+  fp.feed(encode_routed_frame(p, src, dst));
+  auto v = fp.next_view();
+  ASSERT_TRUE(v.ok());  // checksum over routing + payload verified
+  EXPECT_EQ(v->kind, p.kind);
+  EXPECT_EQ(v->type, p.type);
+  EXPECT_EQ(v->seq, p.seq);
+  Reader r(v->payload);
+  EXPECT_EQ(*r.str(), src.host);
+  EXPECT_EQ(*r.u16(), src.port);
+  EXPECT_EQ(*r.str(), dst.host);
+  EXPECT_EQ(*r.u16(), dst.port);
+  const auto body = r.rest();
+  EXPECT_EQ(Bytes(body.begin(), body.end()), p.payload);
 }
 
 }  // namespace
