@@ -41,3 +41,11 @@ execute_process(COMMAND ${C100K_SOAK} --quick RESULT_VARIABLE rc_c100k)
 if(NOT rc_c100k EQUAL 0)
   message(FATAL_ERROR "c100k_soak --quick failed (exit ${rc_c100k})")
 endif()
+
+# Gossip scale gate: digest/delta anti-entropy over a growing component
+# population. Non-zero exit means store divergence after chaos, digest bytes
+# tracking the population, or a blown convergence-round cap.
+execute_process(COMMAND ${GOSSIP_SCALE} --quick RESULT_VARIABLE rc_gossip)
+if(NOT rc_gossip EQUAL 0)
+  message(FATAL_ERROR "gossip_scale --quick failed (exit ${rc_gossip})")
+endif()

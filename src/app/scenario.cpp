@@ -159,8 +159,11 @@ void Sc98Scenario::build_chaos() {
               unit->node.emplace(events_, transport_,
                                  Endpoint{host, kGossipPort});
               unit->node->start();
+              gossip::GossipServer::Options gopts;
+              gopts.num_cliques =
+                  static_cast<std::uint32_t>(opts_.num_gossip_cliques);
               unit->server.emplace(*unit->node, comparators_,
-                                   gossip_endpoints());
+                                   gossip_endpoints(), gopts);
               // start() announces the member to its well-known peers, so
               // the restarted gossip rejoins the clique instead of wedging
               // as a stale singleton; components re-register on their next
@@ -234,7 +237,9 @@ void Sc98Scenario::build_services() {
     unit->node.emplace(events_, transport_,
                        Endpoint{"gossip-" + std::to_string(i), kGossipPort});
     unit->node->start();
-    unit->server.emplace(*unit->node, comparators_, gossip_endpoints());
+    gossip::GossipServer::Options gopts;
+    gopts.num_cliques = static_cast<std::uint32_t>(opts_.num_gossip_cliques);
+    unit->server.emplace(*unit->node, comparators_, gossip_endpoints(), gopts);
     unit->server->start();
     gossips_.push_back(std::move(unit));
   }

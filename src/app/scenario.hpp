@@ -71,6 +71,9 @@ struct ScenarioOptions {
 
   int num_schedulers = 3;
   int num_gossips = 4;
+  /// Child cliques the gossip pool shards into (1 = flat, the default — the
+  /// chaos replay tests pin the single-shard trace bit-for-bit).
+  int num_gossip_cliques = 1;
   Duration report_interval = 2 * kMinute;
   int pool_n = 42;  // search K_42 colorings for mono-K_5 freedom (R5 bound)
   int pool_k = 5;

@@ -15,16 +15,16 @@ CliqueMember::CliqueMember(Node& node, std::vector<Endpoint> well_known,
 void CliqueMember::start() {
   if (running_) return;
   running_ = true;
-  node_.handle(msgtype::kToken, [this](const IncomingMessage& m, Responder r) {
+  node_.handle(mt_token(), [this](const IncomingMessage& m, Responder r) {
     on_token(m, r);
   });
-  node_.handle(msgtype::kJoin, [this](const IncomingMessage& m, Responder r) {
+  node_.handle(mt_join(), [this](const IncomingMessage& m, Responder r) {
     on_join(m, r);
   });
-  node_.handle(msgtype::kProbe, [this](const IncomingMessage& m, Responder r) {
+  node_.handle(mt_probe(), [this](const IncomingMessage& m, Responder r) {
     on_probe(m, r);
   });
-  node_.handle(msgtype::kMerge, [this](const IncomingMessage& m, Responder r) {
+  node_.handle(mt_merge(), [this](const IncomingMessage& m, Responder r) {
     on_merge(m, r);
   });
   view_.generation = 1;
@@ -48,7 +48,7 @@ void CliqueMember::announce_join() {
     if (peer == node_.self()) continue;
     Writer w;
     write_endpoint(w, node_.self());
-    node_.call(peer, msgtype::kJoin, w.take(), hop_options(),
+    node_.call(peer, mt_join(), w.take(), hop_options(),
                [this](Result<Bytes> r) {
                  if (!running_ || !r.ok()) return;
                  auto v = View::deserialize(*r);
@@ -227,14 +227,14 @@ void CliqueMember::forward_token(Token token) {
       return;
     }
     const Endpoint leader = token.view.leader;
-    node_.call(leader, msgtype::kToken, token.serialize(), hop_options(),
+    node_.call(leader, mt_token(), token.serialize(), hop_options(),
                [](Result<Bytes>) {});
     return;
   }
   // Serialize BEFORE the call expression: the continuation captures `token`
   // by move, and argument evaluation order is unspecified.
   Bytes wire = token.serialize();
-  node_.call(next, msgtype::kToken, std::move(wire), hop_options(),
+  node_.call(next, mt_token(), std::move(wire), hop_options(),
              [this, token = std::move(token), next](Result<Bytes> r) mutable {
                if (!running_) return;
                if (r.ok()) return;  // the next holder carries on
@@ -246,6 +246,13 @@ void CliqueMember::forward_token(Token token) {
 }
 
 void CliqueMember::on_token(const IncomingMessage& msg, const Responder& resp) {
+  // Handlers stay registered after stop() (Node has no unregister); a
+  // stopped member — e.g. a parent-tier member whose host lost the child
+  // leadership — must refuse traffic so peers suspect it and drop it.
+  if (!running_) {
+    resp.fail(Err::kRejected, "clique member stopped");
+    return;
+  }
   auto token = Token::deserialize(msg.packet.payload);
   if (!token) {
     resp.fail(Err::kProtocol, token.error().message);
@@ -312,6 +319,10 @@ void CliqueMember::complete_round(const Token& token) {
 }
 
 void CliqueMember::on_join(const IncomingMessage& msg, const Responder& resp) {
+  if (!running_) {
+    resp.fail(Err::kRejected, "clique member stopped");
+    return;
+  }
   auto joiner = Endpoint{};
   {
     Reader r(msg.packet.payload);
@@ -333,6 +344,10 @@ void CliqueMember::on_join(const IncomingMessage& msg, const Responder& resp) {
 }
 
 void CliqueMember::on_probe(const IncomingMessage& msg, const Responder& resp) {
+  if (!running_) {
+    resp.fail(Err::kRejected, "clique member stopped");
+    return;
+  }
   auto foreign = View::deserialize(msg.packet.payload);
   if (!foreign) {
     resp.fail(Err::kProtocol, foreign.error().message);
@@ -343,6 +358,10 @@ void CliqueMember::on_probe(const IncomingMessage& msg, const Responder& resp) {
 }
 
 void CliqueMember::on_merge(const IncomingMessage& msg, const Responder& resp) {
+  if (!running_) {
+    resp.fail(Err::kRejected, "clique member stopped");
+    return;
+  }
   auto foreign = View::deserialize(msg.packet.payload);
   if (!foreign) {
     resp.fail(Err::kProtocol, foreign.error().message);
@@ -352,7 +371,7 @@ void CliqueMember::on_merge(const IncomingMessage& msg, const Responder& resp) {
   if (foreign->leader == view_.leader) return;  // already merged
   if (!is_leader()) {
     // Relay to our leader.
-    node_.call(view_.leader, msgtype::kMerge, foreign->serialize(),
+    node_.call(view_.leader, mt_merge(), foreign->serialize(),
                hop_options(), [](Result<Bytes>) {});
     return;
   }
@@ -388,7 +407,7 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
       // heals after the token-loss timeout fragments everyone. Push our
       // newer view at the stale leader; its same-leader branch adopts it
       // and token rounds resume at the surviving generation.
-      node_.call(foreign.leader, msgtype::kProbe, view_.serialize(),
+      node_.call(foreign.leader, mt_probe(), view_.serialize(),
                  hop_options(), [this](Result<Bytes> r) {
                    if (!running_ || !r.ok()) return;
                    auto v = View::deserialize(*r);
@@ -403,7 +422,7 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
     // may initiate; the foreign leader dedups.
     merging_ = true;
     const Endpoint target = foreign.leader;
-    node_.call(target, msgtype::kMerge, view_.serialize(), hop_options(),
+    node_.call(target, mt_merge(), view_.serialize(), hop_options(),
                [this](Result<Bytes> r) {
                  if (!running_) return;
                  merging_ = false;
@@ -425,7 +444,7 @@ void CliqueMember::consider_foreign_view(const View& foreign) {
         }
       }
     } else {
-      node_.call(view_.leader, msgtype::kMerge, foreign.serialize(),
+      node_.call(view_.leader, mt_merge(), foreign.serialize(),
                  hop_options(), [](Result<Bytes>) {});
     }
   }
@@ -449,7 +468,7 @@ void CliqueMember::probe_tick() {
   // may retry within the hop bounds.
   CallOptions probe = hop_options();
   probe.retry = RetryPolicy::standard(2);
-  node_.call(target, msgtype::kProbe, view_.serialize(), std::move(probe),
+  node_.call(target, mt_probe(), view_.serialize(), std::move(probe),
              [this](Result<Bytes> r) {
                if (!running_) return;
                if (!r.ok()) return;

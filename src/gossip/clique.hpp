@@ -35,6 +35,11 @@ class CliqueMember {
     Duration token_loss_factor = 6;            // periods without a token => fragment
     Duration probe_period = 15 * kSecond;      // out-of-clique probe interval
     Duration hop_timeout = 2 * kSecond;        // fallback before forecasts warm up
+    // First of four consecutive message types (token/join/probe/merge). The
+    // parent tier of a hierarchical gossip pool runs a second CliqueMember on
+    // the same Node at kToken + kParentTierOffset; the offset keeps the two
+    // protocol instances from eating each other's messages.
+    MsgType msg_base = msgtype::kToken;
   };
 
   using ViewListener = std::function<void(const View&)>;
@@ -83,6 +88,10 @@ class CliqueMember {
                                     const std::set<Endpoint>& skip) const;
   [[nodiscard]] CallOptions hop_options() const;
   [[nodiscard]] Duration token_loss_timeout() const;
+  [[nodiscard]] MsgType mt_token() const { return opts_.msg_base; }
+  [[nodiscard]] MsgType mt_join() const { return static_cast<MsgType>(opts_.msg_base + 1); }
+  [[nodiscard]] MsgType mt_probe() const { return static_cast<MsgType>(opts_.msg_base + 2); }
+  [[nodiscard]] MsgType mt_merge() const { return static_cast<MsgType>(opts_.msg_base + 3); }
 
   Node& node_;
   std::vector<Endpoint> well_known_;

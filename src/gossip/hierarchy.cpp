@@ -1,0 +1,46 @@
+#include "gossip/hierarchy.hpp"
+
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace ew::gossip {
+
+std::uint32_t clique_of_gossip(const Endpoint& self,
+                               const std::vector<Endpoint>& pool,
+                               std::uint32_t num_cliques) {
+  if (num_cliques <= 1) return 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i] == self) return static_cast<std::uint32_t>(i % num_cliques);
+  }
+  return static_cast<std::uint32_t>(fnv1a64(self.to_string()) % num_cliques);
+}
+
+std::vector<Endpoint> clique_members(const std::vector<Endpoint>& pool,
+                                     std::uint32_t num_cliques,
+                                     std::uint32_t clique) {
+  if (num_cliques <= 1) return pool;
+  std::vector<Endpoint> out;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (i % num_cliques == clique) out.push_back(pool[i]);
+  }
+  return out;
+}
+
+std::uint32_t home_clique(MsgType type, std::uint32_t num_cliques) {
+  if (num_cliques <= 1) return 0;
+  const std::string item = "type-" + std::to_string(type);
+  std::uint32_t best = 0;
+  std::uint64_t best_w = 0;
+  for (std::uint32_t k = 0; k < num_cliques; ++k) {
+    const std::uint64_t w =
+        rendezvous_weight("clique-" + std::to_string(k), item);
+    if (k == 0 || w > best_w) {
+      best = k;
+      best_w = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace ew::gossip

@@ -1,0 +1,47 @@
+// Hierarchical clique sharding (DESIGN.md §12).
+//
+// The paper's clique protocol partitions into subcliques on failure and
+// merges back when conditions permit; here the same machinery is the scaling
+// mechanism. A gossip pool of N servers is split into K child cliques; each
+// state type has exactly one home clique (consistent/rendezvous hash over
+// clique ids), so a child clique anti-entropies only its shard and per-server
+// digest bytes stay O(types / K) instead of O(total types). Child-clique
+// leaders run a second CliqueMember at offset message types — the parent
+// tier — and anti-entropy per-clique rollup summaries, which is how the
+// hierarchy notices divergence or imbalance without any server ever holding
+// global state.
+//
+// Sharding is by TYPE, not (component, type): a state object is keyed by its
+// message type alone in the StateStore, so both halves of a (component,
+// type) split would have to converge on one copy anyway — giving a type two
+// home cliques would make its replicas permanently diverge. A component
+// registering M types is split across up to M cliques; responsibility for
+// polling it *within* a clique is still partitioned per component by
+// rendezvous hash over the clique view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/packet.hpp"
+
+namespace ew::gossip {
+
+/// Child clique of the gossip at position i in the (config-shared) pool
+/// list: i mod K. Position-based assignment keeps the cliques exactly
+/// balanced; a gossip not in the pool list hashes its endpoint instead.
+std::uint32_t clique_of_gossip(const Endpoint& self,
+                               const std::vector<Endpoint>& pool,
+                               std::uint32_t num_cliques);
+
+/// The members of child clique `clique` under the same position rule.
+std::vector<Endpoint> clique_members(const std::vector<Endpoint>& pool,
+                                     std::uint32_t num_cliques,
+                                     std::uint32_t clique);
+
+/// The home clique of a state type: rendezvous hash over clique ids, so
+/// growing K moves only ~1/K of the types (consistent hashing).
+std::uint32_t home_clique(MsgType type, std::uint32_t num_cliques);
+
+}  // namespace ew::gossip

@@ -1,6 +1,17 @@
 #include "gossip/state.hpp"
 
+#include <string_view>
+
+#include "common/hash.hpp"
+
 namespace ew::gossip {
+
+namespace {
+std::uint64_t content_checksum(const Bytes& content) {
+  return fnv1a64(std::string_view(reinterpret_cast<const char*>(content.data()),
+                                  content.size()));
+}
+}  // namespace
 
 int compare_by_version_prefix(const Bytes& a, const Bytes& b) {
   const auto va = blob_version(a);
@@ -40,31 +51,119 @@ const FreshnessFn& ComparatorRegistry::comparator(MsgType type) const {
   return it == map_.end() ? fallback_ : it->second;
 }
 
-bool StateStore::merge(const StateBlob& incoming) {
-  if (compare_with_stored(incoming.type, incoming.content) > 0) {
-    map_[incoming.type] = incoming.content;
-    return true;
+const char* merge_outcome_name(MergeOutcome o) {
+  switch (o) {
+    case MergeOutcome::kNew: return "new";
+    case MergeOutcome::kFresher: return "fresher";
+    case MergeOutcome::kEqual: return "equal";
+    case MergeOutcome::kStale: return "stale";
   }
-  return false;
+  return "?";
+}
+
+MergeOutcome StateStore::merge(const StateBlob& incoming) {
+  const std::uint64_t checksum = content_checksum(incoming.content);
+  auto it = map_.find(incoming.type);
+  if (it == map_.end()) {
+    const auto ver = blob_version(incoming.content);
+    map_.emplace(incoming.type,
+                 Entry{incoming.content, ver ? *ver : 0, checksum});
+    ++store_version_;
+    return MergeOutcome::kNew;
+  }
+  const int cmp =
+      comparators_.comparator(incoming.type)(incoming.content, it->second.content);
+  if (cmp < 0) return MergeOutcome::kStale;
+  if (cmp == 0) {
+    if (checksum == it->second.checksum) return MergeOutcome::kEqual;
+    // Comparator tie, different bytes: adopt the larger checksum so every
+    // replica of a disputed type lands on the same copy.
+    if (checksum < it->second.checksum) return MergeOutcome::kStale;
+  }
+  const auto ver = blob_version(incoming.content);
+  it->second = Entry{incoming.content, ver ? *ver : 0, checksum};
+  ++store_version_;
+  return MergeOutcome::kFresher;
 }
 
 std::optional<StateBlob> StateStore::get(MsgType type) const {
   auto it = map_.find(type);
   if (it == map_.end()) return std::nullopt;
-  return StateBlob{type, it->second};
+  return StateBlob{type, it->second.content};
 }
 
 std::vector<StateBlob> StateStore::all() const {
   std::vector<StateBlob> out;
   out.reserve(map_.size());
-  for (const auto& [type, content] : map_) out.push_back(StateBlob{type, content});
+  for (const auto& [type, entry] : map_) out.push_back(StateBlob{type, entry.content});
   return out;
 }
 
-int StateStore::compare_with_stored(MsgType type, const Bytes& candidate) const {
+std::uint64_t StateStore::version_of(MsgType type) const {
   auto it = map_.find(type);
-  if (it == map_.end()) return 1;
-  return comparators_.comparator(type)(candidate, it->second);
+  return it == map_.end() ? 0 : it->second.version;
+}
+
+std::vector<TypeSummary> StateStore::summary() const {
+  std::vector<TypeSummary> out;
+  out.reserve(map_.size());
+  for (const auto& [type, entry] : map_) {
+    out.push_back(TypeSummary{type, entry.version, entry.checksum});
+  }
+  return out;
+}
+
+std::vector<StateBlob> StateStore::blobs_fresher_than(
+    const std::vector<TypeSummary>& peer) const {
+  std::vector<StateBlob> out;
+  // `peer` arrives sorted by type (StateStore::summary order survives the
+  // wire); walk both sorted sequences in lockstep.
+  auto pit = peer.begin();
+  for (const auto& [type, entry] : map_) {
+    while (pit != peer.end() && pit->type < type) ++pit;
+    if (pit == peer.end() || pit->type != type) {
+      out.push_back(StateBlob{type, entry.content});
+      continue;
+    }
+    if (entry.version > pit->version ||
+        (entry.version == pit->version && entry.checksum > pit->checksum)) {
+      out.push_back(StateBlob{type, entry.content});
+    }
+  }
+  return out;
+}
+
+std::vector<MsgType> StateStore::types_stale_against(
+    const std::vector<TypeSummary>& peer) const {
+  std::vector<MsgType> out;
+  for (const auto& s : peer) {
+    auto it = map_.find(s.type);
+    if (it == map_.end()) {
+      out.push_back(s.type);
+      continue;
+    }
+    if (s.version > it->second.version ||
+        (s.version == it->second.version && s.checksum > it->second.checksum)) {
+      out.push_back(s.type);
+    }
+  }
+  return out;
+}
+
+std::uint64_t StateStore::rollup_checksum() const {
+  // XOR of per-entry hashes: order-independent, cheap to audit, and any
+  // single (type, version, checksum) difference flips the rollup.
+  std::uint64_t acc = 0;
+  for (const auto& [type, entry] : map_) {
+    Writer w(2 + 16);
+    w.u16(type);
+    w.u64(entry.version);
+    w.u64(entry.checksum);
+    const Bytes line = w.take();
+    acc ^= fnv1a64(std::string_view(reinterpret_cast<const char*>(line.data()),
+                                    line.size()));
+  }
+  return acc;
 }
 
 }  // namespace ew::gossip

@@ -8,9 +8,18 @@
 // both gossips and components link against. Types with no registered
 // comparator fall back to comparing a leading u64 version stamp — the
 // convention all toolkit state types follow anyway.
+//
+// The store tracks a (version, checksum) pair per type natively, so a
+// versioned digest — one TypeSummary per type, never the content — is a
+// plain read, and the anti-entropy planner can compute exactly which blobs a
+// peer is provably stale on. The version is the content's leading u64 stamp
+// (0 when absent); types whose custom comparator contradicts the version
+// prefix still converge through the checksum want-lists, at the cost of
+// re-exchanging the disputed blob each round (documented in DESIGN.md §12).
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -41,26 +50,66 @@ class ComparatorRegistry {
   FreshnessFn fallback_ = compare_by_version_prefix;
 };
 
-/// The freshest-known-copy store kept by each Gossip.
+/// What StateStore::merge decided about an incoming blob. kNew and kFresher
+/// replaced the stored copy; kEqual and kStale left it alone. Gossip servers
+/// count each outcome distinctly, and a kStale poll result is the trigger
+/// for pushing a fresh copy back at the component.
+enum class MergeOutcome : std::uint8_t { kNew, kFresher, kEqual, kStale };
+
+[[nodiscard]] const char* merge_outcome_name(MergeOutcome o);
+[[nodiscard]] inline bool merge_accepted(MergeOutcome o) {
+  return o == MergeOutcome::kNew || o == MergeOutcome::kFresher;
+}
+
+/// The freshest-known-copy store kept by each Gossip, with native per-type
+/// (version, checksum) tracking for the versioned-digest exchange.
 class StateStore {
  public:
   explicit StateStore(const ComparatorRegistry& comparators)
       : comparators_(comparators) {}
 
-  /// Merge `incoming`; returns true if it was fresher and replaced the copy.
-  bool merge(const StateBlob& incoming);
+  /// Merge `incoming` under the type's comparator. On a comparator tie with
+  /// different content, the larger checksum wins deterministically, so every
+  /// replica of a disputed type converges on one copy.
+  MergeOutcome merge(const StateBlob& incoming);
 
   [[nodiscard]] std::optional<StateBlob> get(MsgType type) const;
   [[nodiscard]] std::vector<StateBlob> all() const;
   [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool contains(MsgType type) const { return map_.contains(type); }
+  [[nodiscard]] std::uint64_t version_of(MsgType type) const;
 
-  /// <0 staler, 0 equal, >0 fresher — `candidate` vs the stored copy.
-  /// Returns fresher (>0) when nothing is stored yet.
-  [[nodiscard]] int compare_with_stored(MsgType type, const Bytes& candidate) const;
+  /// One summary line per stored type, sorted by type (deterministic wire
+  /// encoding for replayable sims).
+  [[nodiscard]] std::vector<TypeSummary> summary() const;
+
+  /// Blobs a peer holding `peer` summaries is provably stale on: types the
+  /// peer lacks, types where our version is ahead, and comparator-tie
+  /// disputes where our checksum wins.
+  [[nodiscard]] std::vector<StateBlob> blobs_fresher_than(
+      const std::vector<TypeSummary>& peer) const;
+
+  /// Types in `peer` that are fresher than (or absent from) our store — the
+  /// want-list a digest receiver sends back.
+  [[nodiscard]] std::vector<MsgType> types_stale_against(
+      const std::vector<TypeSummary>& peer) const;
+
+  /// Monotone counter bumped on every accepted merge; the parent tier uses
+  /// it to version its clique rollups.
+  [[nodiscard]] std::uint64_t store_version() const { return store_version_; }
+  /// Order-independent rollup over every (type, version, checksum) line.
+  [[nodiscard]] std::uint64_t rollup_checksum() const;
 
  private:
+  struct Entry {
+    Bytes content;
+    std::uint64_t version = 0;
+    std::uint64_t checksum = 0;
+  };
+
   const ComparatorRegistry& comparators_;
-  std::unordered_map<MsgType, Bytes> map_;
+  std::map<MsgType, Entry> map_;  // ordered: digests serialize deterministically
+  std::uint64_t store_version_ = 0;
 };
 
 }  // namespace ew::gossip

@@ -20,6 +20,9 @@ void SyncClient::start() {
   running_ = true;
   node_.handle(msgtype::kGetState,
                [this](const IncomingMessage& m, Responder r) { on_get_state(m, r); });
+  node_.handle(msgtype::kGetStateBatch, [this](const IncomingMessage& m, Responder r) {
+    on_get_state_batch(m, r);
+  });
   node_.handle(msgtype::kStateUpdate, [this](const IncomingMessage& m, Responder r) {
     on_state_update(m, r);
   });
@@ -87,6 +90,26 @@ void SyncClient::on_get_state(const IncomingMessage& msg, const Responder& resp)
     return;
   }
   resp.ok(it->second.provider());
+}
+
+void SyncClient::on_get_state_batch(const IncomingMessage& msg,
+                                    const Responder& resp) {
+  auto types = deserialize_type_list(msg.packet.payload);
+  if (!types) {
+    resp.fail(Err::kProtocol, types.error().message);
+    return;
+  }
+  // One response for the whole poll. Types we don't expose are skipped, not
+  // failed: a gossip's registry can briefly trail a re-registration, and a
+  // partial answer still advances anti-entropy.
+  std::vector<StateBlob> blobs;
+  blobs.reserve(types->size());
+  for (MsgType type : *types) {
+    auto it = handlers_.find(type);
+    if (it == handlers_.end() || !it->second.provider) continue;
+    blobs.push_back(StateBlob{type, it->second.provider()});
+  }
+  resp.ok(serialize_blob_list(blobs));
 }
 
 void SyncClient::on_state_update(const IncomingMessage& msg, const Responder& resp) {

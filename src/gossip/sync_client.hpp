@@ -56,6 +56,7 @@ class SyncClient {
   void register_with(std::size_t index);
   void schedule_renewal();
   void on_get_state(const IncomingMessage& msg, const Responder& resp);
+  void on_get_state_batch(const IncomingMessage& msg, const Responder& resp);
   void on_state_update(const IncomingMessage& msg, const Responder& resp);
 
   Node& node_;

@@ -212,6 +212,10 @@ bool CallPolicy::admit(const Endpoint& to, TimePoint now) {
   return ok;
 }
 
+void CallPolicy::on_attempt_abandoned(const Endpoint& to) {
+  if (opts_.breaker_enabled) breakers_.at(to).release_probe();
+}
+
 void CallPolicy::on_attempt_result(const EventTag& tag, const Endpoint& to,
                                    TimePoint now, Duration rtt, bool ok) {
   timeouts_.on_result(tag, rtt, ok);

@@ -266,6 +266,13 @@ class CircuitBreaker {
   /// even an application rejection — proves the host alive.
   void on_result(TimePoint now, bool ok);
 
+  /// An admitted attempt was abandoned (its call completed first) and will
+  /// never report a result: free the probe slot it may occupy so the
+  /// half-open state cannot latch.
+  void release_probe() {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+  }
+
   [[nodiscard]] std::uint64_t times_opened() const { return times_opened_; }
 
  private:
@@ -333,6 +340,10 @@ class CallPolicy {
 
   /// Breaker gate; true when the attempt may proceed.
   [[nodiscard]] bool admit(const Endpoint& to, TimePoint now);
+
+  /// An admitted attempt was cancelled before reporting (its call completed
+  /// first); frees any half-open probe slot it held.
+  void on_attempt_abandoned(const Endpoint& to);
 
   /// Feed an attempt's transport outcome to the forecaster and breaker.
   void on_attempt_result(const EventTag& tag, const Endpoint& to,

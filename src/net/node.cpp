@@ -140,11 +140,17 @@ void Node::start_attempt(std::uint64_t call_id, Bytes payload, bool is_hedge) {
   const TimePoint now = exec_.now();
 
   // The breaker may have opened since the call was admitted (or since the
-  // last attempt); shed rather than hammer a host known to be down.
+  // last attempt); shed rather than hammer a host known to be down. A shed
+  // hedge/duplicate must not abort the call while an earlier attempt is
+  // still in flight — that attempt may be the breaker's half-open probe,
+  // and killing the call here would drop its response on the floor and
+  // leak the probe slot (latching the breaker half-open forever).
   if (!policy_.admit(c.to, now)) {
     policy_.stats().record_short_circuit();
-    complete_call(call_id,
-                  Error{Err::kUnavailable, "circuit open to " + c.to.to_string()});
+    if (c.in_flight == 0) {
+      complete_call(call_id,
+                    Error{Err::kUnavailable, "circuit open to " + c.to.to_string()});
+    }
     return;
   }
 
@@ -414,10 +420,13 @@ void Node::complete_call(std::uint64_t call_id, Result<Bytes> result) {
   for (std::uint64_t seq : c.seqs) {
     if (auto it = pending_.find(seq); it != pending_.end()) {
       // Still-in-flight loser (the cancelled hedge or superseded attempt);
-      // its eventual response is an expected duplicate.
+      // its eventual response is an expected duplicate. Its outcome will
+      // never reach the policy, so hand back any half-open probe slot the
+      // attempt may hold — otherwise the breaker stays latched half-open.
       exec_.cancel(it->second.timer);
       pending_.erase(it);
       remember_cancelled(seq);
+      policy_.on_attempt_abandoned(c.to);
     }
     // Dead late_ entries: a response now is just a plain late response.
     late_.erase(seq);

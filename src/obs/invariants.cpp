@@ -108,6 +108,20 @@ InvariantReport check_invariants(const TraceRecorder& rec,
         }
         break;
       }
+      case SpanKind::kGossipDelta: {
+        ++report.gossip_deltas;
+        report.gossip_delta_blobs += static_cast<std::uint64_t>(ev.a);
+        // A delta exchange is only emitted when it carries something —
+        // blobs (a) or registrations (b). An empty one means the planner
+        // computed a bogus want-list or the codec dropped the payload.
+        if (ev.a <= 0 && ev.b <= 0) {
+          std::ostringstream os;
+          os << "empty gossip delta at t=" << ev.at << " on "
+             << rec.tag_name(ev.tag) << ": anti-entropy sent nothing";
+          report.violations.push_back(os.str());
+        }
+        break;
+      }
       case SpanKind::kChaosFault: {
         ++report.chaos_faults;
         const std::string host = rec.tag_name(ev.tag);

@@ -49,6 +49,8 @@ struct InvariantReport {
   std::uint64_t breaker_reprobes = 0;
   std::uint64_t view_changes = 0;
   std::uint64_t chaos_faults = 0;
+  std::uint64_t gossip_deltas = 0;
+  std::uint64_t gossip_delta_blobs = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };

@@ -169,6 +169,9 @@ const std::vector<const char*>& mandatory_counters() {
       names::kNetBackpressureRejects, names::kGossipSyncRounds,
       names::kGossipPolls,
       names::kGossipUpdatesPushed, names::kGossipStatesAbsorbed,
+      names::kGossipDeltaBlobs,   names::kGossipMergeNew,
+      names::kGossipMergeFresher, names::kGossipMergeStale,
+      names::kGossipMergeEqual,
       names::kCliqueTokens,       names::kCliqueRounds,
       names::kCliqueFragmentations, names::kCliqueElections,
       names::kSchedDispatches,    names::kSchedReports,
@@ -190,6 +193,8 @@ const std::vector<const char*>& mandatory_histograms() {
   static const std::vector<const char*> kList = {
       names::kNetCallLatencyUs,
       names::kNetTimeoutWaitUs,
+      names::kGossipDigestBytes,
+      names::kGossipConvergenceRounds,
   };
   return kList;
 }

@@ -182,6 +182,14 @@ inline constexpr const char* kGossipSyncRounds = "gossip.sync_rounds";
 inline constexpr const char* kGossipPolls = "gossip.polls";
 inline constexpr const char* kGossipUpdatesPushed = "gossip.updates_pushed";
 inline constexpr const char* kGossipStatesAbsorbed = "gossip.states_absorbed";
+inline constexpr const char* kGossipDeltaBlobs = "gossip.delta_blobs";
+inline constexpr const char* kGossipMergeNew = "gossip.merge.new";
+inline constexpr const char* kGossipMergeFresher = "gossip.merge.fresher";
+inline constexpr const char* kGossipMergeStale = "gossip.merge.stale";
+inline constexpr const char* kGossipMergeEqual = "gossip.merge.equal";
+inline constexpr const char* kGossipDigestBytes = "gossip.digest_bytes";
+inline constexpr const char* kGossipConvergenceRounds =
+    "gossip.convergence_rounds";
 inline constexpr const char* kCliqueTokens = "clique.tokens";
 inline constexpr const char* kCliqueRounds = "clique.rounds";
 inline constexpr const char* kCliqueFragmentations = "clique.fragmentations";

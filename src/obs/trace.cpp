@@ -22,6 +22,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kSchedUnitIssued: return "sched.unit_issued";
     case SpanKind::kSchedUnitReclaimed: return "sched.unit_reclaimed";
     case SpanKind::kChaosFault: return "chaos.fault";
+    case SpanKind::kGossipDelta: return "gossip.delta";
   }
   return "?";
 }

@@ -42,6 +42,7 @@ enum class SpanKind : std::uint8_t {
   kSchedUnitIssued = 12,   // a = unit id; tag = scheduler endpoint
   kSchedUnitReclaimed = 13,  // a = unit id, b = reason; tag = scheduler
   kChaosFault = 14,        // a = FaultKind, b = aux; tag = target host
+  kGossipDelta = 15,       // a = blobs carried, b = registrations carried
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind k);

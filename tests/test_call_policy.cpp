@@ -344,6 +344,27 @@ TEST(CircuitBreakerUnit, OpensHalfOpensAndCloses) {
   EXPECT_EQ(b.times_opened(), 2u);
 }
 
+TEST(CircuitBreakerUnit, AbandonedProbeDoesNotLatchHalfOpen) {
+  // Regression: a half-open probe whose call completed before the probe
+  // reported (hedge shed the call, or the deadline fired) used to leave
+  // probes_in_flight_ stuck at the cap, latching the breaker half-open
+  // forever — no probe could ever go out again. release_probe() is the
+  // abandonment path complete_call drives through on_attempt_abandoned.
+  CircuitBreaker::Options o;
+  o.failure_threshold = 1;
+  o.open_for = kSecond;
+  o.half_open_probes = 1;
+  CircuitBreaker b(o);
+  b.on_result(0, false);  // trip
+  EXPECT_EQ(b.state(kSecond), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(kSecond));    // probe slot taken
+  EXPECT_FALSE(b.allow(kSecond));   // budget spent
+  b.release_probe();                // probe abandoned, result never comes
+  EXPECT_TRUE(b.allow(kSecond));    // a fresh probe may go out
+  b.on_result(kSecond, true);
+  EXPECT_EQ(b.state(kSecond), CircuitBreaker::State::kClosed);
+}
+
 TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
   client.call_policy().set_breaker_enabled(true);
   drop_all_requests();

@@ -35,6 +35,11 @@ std::vector<std::pair<const char*, Decoder>> decoders() {
       {"Registration",
        [](const Bytes& b) { return gossip::Registration::deserialize(b).ok(); }},
       {"Digest", [](const Bytes& b) { return gossip::Digest::deserialize(b).ok(); }},
+      {"Delta", [](const Bytes& b) { return gossip::Delta::deserialize(b).ok(); }},
+      {"ParentDigest",
+       [](const Bytes& b) { return gossip::ParentDigest::deserialize(b).ok(); }},
+      {"GossipBlobList",
+       [](const Bytes& b) { return gossip::deserialize_blob_list(b).ok(); }},
       {"View", [](const Bytes& b) { return gossip::View::deserialize(b).ok(); }},
       {"Token", [](const Bytes& b) { return gossip::Token::deserialize(b).ok(); }},
       {"ClientHello",

@@ -47,14 +47,16 @@ class GossipServerTest : public ::testing::Test {
     net_.set_jitter_sigma(0.0);
   }
 
-  void build(int num_gossips) {
+  void build(int num_gossips, std::uint32_t num_cliques = 1) {
     for (int i = 0; i < num_gossips; ++i) {
       well_known_.push_back(Endpoint{"g" + std::to_string(i), 501});
     }
     GossipServer::Options opts;
     opts.poll_period = 5 * kSecond;
     opts.peer_sync_period = 8 * kSecond;
+    opts.parent_sync_period = 8 * kSecond;
     opts.lease = 5 * kMinute;
+    opts.num_cliques = num_cliques;
     opts.clique.token_period = 2 * kSecond;
     opts.clique.probe_period = 4 * kSecond;
     for (int i = 0; i < num_gossips; ++i) {
@@ -203,6 +205,93 @@ TEST_F(GossipServerTest, ComponentFailsOverToAnotherGossip) {
   events_.run_for(3 * kMinute);
   EXPECT_TRUE(c->sync->registered());
   EXPECT_NE(c->sync->current_gossip(), first);
+}
+
+TEST_F(GossipServerTest, MergeOutcomesAndDigestBytesCounted) {
+  build(2);
+  auto* a = add_component("comp-a");
+  a->version = 3;
+  events_.run_for(2 * kMinute);
+  a->version = 5;
+  events_.run_for(3 * kMinute);
+  std::uint64_t news = 0, freshers = 0, equals = 0;
+  for (auto& s : servers_) {
+    news += s->merges(MergeOutcome::kNew);
+    freshers += s->merges(MergeOutcome::kFresher);
+    equals += s->merges(MergeOutcome::kEqual);
+  }
+  EXPECT_GE(news, 2u);      // each server learned the type once
+  EXPECT_GE(freshers, 1u);  // the version bump propagated
+  EXPECT_GE(equals, 1u);    // steady-state polls re-deliver equal copies
+  EXPECT_GT(servers_[0]->digest_bytes_max(), 0u);
+}
+
+TEST_F(GossipServerTest, ConvergenceRoundsRecordedOnCleanExchange) {
+  build(2);
+  auto* a = add_component("comp-a");
+  a->version = 3;
+  events_.run_for(5 * kMinute);
+  std::uint64_t recorded = 0;
+  for (auto& s : servers_) recorded += s->last_convergence_rounds();
+  EXPECT_GT(recorded, 0u);
+}
+
+TEST_F(GossipServerTest, HierarchyShardsPoolAndTypes) {
+  build(4, 2);
+  // Pool position i mod K decides the child clique.
+  EXPECT_EQ(servers_[0]->clique_id(), 0u);
+  EXPECT_EQ(servers_[1]->clique_id(), 1u);
+  EXPECT_EQ(servers_[2]->clique_id(), 0u);
+  EXPECT_EQ(servers_[3]->clique_id(), 1u);
+  // Every type is homed in exactly one clique, and all servers agree.
+  for (MsgType t : {kCounterState, static_cast<MsgType>(0x0500),
+                    static_cast<MsgType>(0x0501)}) {
+    int owners = 0;
+    for (auto& s : servers_) owners += s->owns_type(t) ? 1 : 0;
+    EXPECT_EQ(owners, 2) << t;  // the two members of the home clique
+  }
+}
+
+TEST_F(GossipServerTest, StateLandsInHomeCliqueOnly) {
+  build(4, 2);
+  auto* c = add_component("comp-a");
+  c->version = 6;
+  events_.run_for(6 * kMinute);
+  // Whichever gossip took the registration, the type's home clique polls the
+  // component and holds its state; the other clique stays clean.
+  for (auto& s : servers_) {
+    EXPECT_EQ(s->store().contains(kCounterState), s->owns_type(kCounterState));
+    EXPECT_EQ(s->has_registration(c->node->self()), s->owns_type(kCounterState));
+  }
+}
+
+TEST_F(GossipServerTest, ParentTierRollupsPropagateBetweenLeaders) {
+  build(4, 2);
+  auto* c = add_component("comp-a");
+  c->version = 9;
+  events_.run_for(8 * kMinute);
+  // Each child-clique leader runs the parent tier and learns the other
+  // clique's rollup through leader-to-leader anti-entropy.
+  int leaders_knowing_both = 0;
+  for (auto& s : servers_) {
+    if (!s->clique().is_leader()) continue;
+    ASSERT_NE(s->parent(), nullptr);
+    if (s->rollups().size() == 2) ++leaders_knowing_both;
+  }
+  EXPECT_EQ(leaders_knowing_both, 2);
+  // The home clique's rollup reflects the absorbed component state.
+  std::uint32_t home = 99;
+  for (auto& s : servers_) {
+    if (s->owns_type(kCounterState)) home = s->clique_id();
+  }
+  ASSERT_NE(home, 99u);
+  for (auto& s : servers_) {
+    if (!s->clique().is_leader()) continue;
+    const auto it = s->rollups().find(home);
+    ASSERT_NE(it, s->rollups().end());
+    EXPECT_GE(it->second.states, 1u);
+    EXPECT_GE(it->second.components, 1u);
+  }
 }
 
 TEST_F(GossipServerTest, UnexposedTypeRejected) {

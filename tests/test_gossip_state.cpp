@@ -56,14 +56,38 @@ TEST(ComparatorRegistry, CustomComparatorWins) {
 
 // --- StateStore -------------------------------------------------------------------
 
-TEST(StateStore, MergeKeepsFreshest) {
+TEST(StateStore, MergeReportsOutcomeAndKeepsFreshest) {
   ComparatorRegistry reg;
   StateStore store(reg);
-  EXPECT_TRUE(store.merge(StateBlob{1, versioned_blob(1, {Bytes{9}})}));
-  EXPECT_FALSE(store.merge(StateBlob{1, versioned_blob(1, {Bytes{8}})}));  // tie: keep
-  EXPECT_TRUE(store.merge(StateBlob{1, versioned_blob(5, {Bytes{7}})}));
-  EXPECT_FALSE(store.merge(StateBlob{1, versioned_blob(3, {Bytes{6}})}));
+  EXPECT_EQ(store.merge(StateBlob{1, versioned_blob(1, {Bytes{9}})}),
+            MergeOutcome::kNew);
+  EXPECT_EQ(store.merge(StateBlob{1, versioned_blob(5, {Bytes{7}})}),
+            MergeOutcome::kFresher);
+  EXPECT_EQ(store.merge(StateBlob{1, versioned_blob(3, {Bytes{6}})}),
+            MergeOutcome::kStale);
+  EXPECT_EQ(store.merge(StateBlob{1, versioned_blob(5, {Bytes{7}})}),
+            MergeOutcome::kEqual);
   EXPECT_EQ(*blob_version(store.get(1)->content), 5u);
+  EXPECT_TRUE(merge_accepted(MergeOutcome::kNew));
+  EXPECT_TRUE(merge_accepted(MergeOutcome::kFresher));
+  EXPECT_FALSE(merge_accepted(MergeOutcome::kStale));
+  EXPECT_FALSE(merge_accepted(MergeOutcome::kEqual));
+}
+
+TEST(StateStore, ComparatorTieBreaksDeterministically) {
+  // Same version, different bytes: whichever copy has the larger checksum
+  // must win on BOTH replicas, whatever the merge order.
+  ComparatorRegistry reg;
+  const StateBlob a{1, versioned_blob(4, {Bytes{1}})};
+  const StateBlob b{1, versioned_blob(4, {Bytes{2}})};
+  StateStore s1(reg), s2(reg);
+  s1.merge(a);
+  s1.merge(b);
+  s2.merge(b);
+  s2.merge(a);
+  EXPECT_EQ(s1.get(1)->content, s2.get(1)->content);
+  // Exactly one of the two cross-merges was accepted.
+  EXPECT_EQ(s1.rollup_checksum(), s2.rollup_checksum());
 }
 
 TEST(StateStore, TypesIndependent) {
@@ -76,17 +100,59 @@ TEST(StateStore, TypesIndependent) {
   EXPECT_FALSE(store.get(3).has_value());
 }
 
-TEST(StateStore, CompareWithStoredEmptyIsFresher) {
-  ComparatorRegistry reg;
-  StateStore store(reg);
-  EXPECT_GT(store.compare_with_stored(1, versioned_blob(0, {})), 0);
-}
-
 TEST(StateStore, AllReturnsEverything) {
   ComparatorRegistry reg;
   StateStore store(reg);
   for (MsgType t = 1; t <= 5; ++t) store.merge(StateBlob{t, versioned_blob(t, {})});
   EXPECT_EQ(store.all().size(), 5u);
+}
+
+TEST(StateStore, SummaryTracksVersionsNatively) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  store.merge(StateBlob{3, versioned_blob(7, {Bytes{1}})});
+  store.merge(StateBlob{1, versioned_blob(2, {Bytes{2}})});
+  const auto sum = store.summary();
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_EQ(sum[0].type, 1);  // sorted by type
+  EXPECT_EQ(sum[0].version, 2u);
+  EXPECT_EQ(sum[1].type, 3);
+  EXPECT_EQ(sum[1].version, 7u);
+  EXPECT_EQ(store.version_of(3), 7u);
+  EXPECT_EQ(store.version_of(99), 0u);
+}
+
+TEST(StateStore, StoreVersionBumpsOnlyOnAcceptedMerges) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  const auto v0 = store.store_version();
+  store.merge(StateBlob{1, versioned_blob(1, {})});  // kNew
+  const auto v1 = store.store_version();
+  EXPECT_GT(v1, v0);
+  store.merge(StateBlob{1, versioned_blob(1, {})});  // kEqual
+  EXPECT_EQ(store.store_version(), v1);
+  store.merge(StateBlob{1, versioned_blob(2, {})});  // kFresher
+  EXPECT_GT(store.store_version(), v1);
+}
+
+TEST(StateStore, DeltaPlannerFindsExactlyTheStaleTypes) {
+  ComparatorRegistry reg;
+  StateStore a(reg), b(reg);
+  a.merge(StateBlob{1, versioned_blob(5, {Bytes{1}})});  // a ahead
+  b.merge(StateBlob{1, versioned_blob(3, {Bytes{2}})});
+  a.merge(StateBlob{2, versioned_blob(4, {Bytes{3}})});  // equal copies
+  b.merge(StateBlob{2, versioned_blob(4, {Bytes{3}})});
+  b.merge(StateBlob{3, versioned_blob(9, {Bytes{4}})});  // only b has it
+  // a's view of b's digest: a should send type 1 and want type 3.
+  const auto send = a.blobs_fresher_than(b.summary());
+  ASSERT_EQ(send.size(), 1u);
+  EXPECT_EQ(send[0].type, 1);
+  const auto want = a.types_stale_against(b.summary());
+  ASSERT_EQ(want.size(), 1u);
+  EXPECT_EQ(want[0], 3);
+  // And symmetrically for b.
+  EXPECT_EQ(b.blobs_fresher_than(a.summary()).size(), 1u);
+  EXPECT_EQ(b.types_stale_against(a.summary()).size(), 1u);
 }
 
 // --- Protocol codecs -----------------------------------------------------------------
@@ -120,16 +186,108 @@ TEST(ProtocolCodec, RegistrationRejectsHugeTypeList) {
 
 TEST(ProtocolCodec, DigestRoundTrip) {
   Digest d;
+  d.clique = 3;
+  d.summaries.push_back(TypeSummary{7, 11, 0xdeadbeefu});
+  d.summaries.push_back(TypeSummary{9, 2, 42});
+  d.reg_count = 5;
+  d.reg_checksum = 0xabcdef0123456789ull;
+  const auto out = Digest::deserialize(d.serialize());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->clique, 3u);
+  ASSERT_EQ(out->summaries.size(), 2u);
+  EXPECT_EQ(out->summaries[0].type, 7);
+  EXPECT_EQ(out->summaries[0].version, 11u);
+  EXPECT_EQ(out->summaries[0].checksum, 0xdeadbeefu);
+  EXPECT_EQ(out->reg_count, 5u);
+  EXPECT_EQ(out->reg_checksum, 0xabcdef0123456789ull);
+}
+
+TEST(ProtocolCodec, DigestRejectsTruncatedAndOversized) {
+  Digest d;
+  d.clique = 1;
+  d.summaries.push_back(TypeSummary{7, 11, 13});
+  const Bytes wire = d.serialize();
+  // Truncation anywhere must fail cleanly, never read past the buffer.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const Bytes cut(wire.begin(), wire.begin() + static_cast<long>(n));
+    EXPECT_FALSE(Digest::deserialize(cut).ok()) << "prefix length " << n;
+  }
+  // A count field promising more elements than the payload can hold must be
+  // rejected before any allocation is sized from it.
+  Writer w;
+  w.u32(1);            // clique
+  w.u32(0x7fffffff);   // summary count: absurd
+  EXPECT_FALSE(Digest::deserialize(w.bytes()).ok());
+}
+
+TEST(ProtocolCodec, DeltaRoundTrip) {
+  Delta d;
+  d.clique = 2;
+  d.blobs.push_back(StateBlob{7, versioned_blob(3, {Bytes{1}})});
+  d.want = {9, 11};
   Registration reg;
   reg.component = Endpoint{"c", 1};
   reg.types = {7};
   d.registrations.push_back(reg);
-  d.states.push_back(StateBlob{7, versioned_blob(3, {Bytes{1}})});
-  const auto out = Digest::deserialize(d.serialize());
+  const auto out = Delta::deserialize(d.serialize());
   ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->clique, 2u);
+  ASSERT_EQ(out->blobs.size(), 1u);
+  EXPECT_EQ(out->blobs[0].type, 7);
+  EXPECT_EQ(out->want, (std::vector<MsgType>{9, 11}));
   ASSERT_EQ(out->registrations.size(), 1u);
-  ASSERT_EQ(out->states.size(), 1u);
-  EXPECT_EQ(out->states[0].type, 7);
+  EXPECT_EQ(out->registrations[0].component, (Endpoint{"c", 1}));
+}
+
+TEST(ProtocolCodec, DeltaRejectsTruncatedAndOversized) {
+  Delta d;
+  d.clique = 1;
+  d.blobs.push_back(StateBlob{7, versioned_blob(3, {Bytes{1, 2}})});
+  d.want = {9};
+  const Bytes wire = d.serialize();
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const Bytes cut(wire.begin(), wire.begin() + static_cast<long>(n));
+    EXPECT_FALSE(Delta::deserialize(cut).ok()) << "prefix length " << n;
+  }
+  Writer w;
+  w.u32(1);           // clique
+  w.u32(2'000'000);   // blob count far beyond the payload
+  EXPECT_FALSE(Delta::deserialize(w.bytes()).ok());
+}
+
+TEST(ProtocolCodec, ParentDigestRoundTrip) {
+  ParentDigest pd;
+  pd.cliques.push_back(CliqueSummary{0, 4, 0x11, 10, 3});
+  pd.cliques.push_back(CliqueSummary{1, 9, 0x22, 20, 7});
+  const auto out = ParentDigest::deserialize(pd.serialize());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->cliques.size(), 2u);
+  EXPECT_EQ(out->cliques[1].clique, 1u);
+  EXPECT_EQ(out->cliques[1].version, 9u);
+  EXPECT_EQ(out->cliques[1].components, 7u);
+  // Oversized clique count is rejected up front.
+  Writer w;
+  w.u32(50'000'000);
+  EXPECT_FALSE(ParentDigest::deserialize(w.bytes()).ok());
+}
+
+TEST(ProtocolCodec, TypeAndBlobListRoundTrip) {
+  const std::vector<MsgType> types{3, 1, 9};
+  const auto tl = deserialize_type_list(serialize_type_list(types));
+  ASSERT_TRUE(tl.ok());
+  EXPECT_EQ(*tl, types);
+  std::vector<StateBlob> blobs;
+  blobs.push_back(StateBlob{5, Bytes{1, 2, 3}});
+  const auto bl = deserialize_blob_list(serialize_blob_list(blobs));
+  ASSERT_TRUE(bl.ok());
+  ASSERT_EQ(bl->size(), 1u);
+  EXPECT_EQ((*bl)[0].type, 5);
+  EXPECT_EQ((*bl)[0].content, (Bytes{1, 2, 3}));
+  // Count guard on both list codecs.
+  Writer w;
+  w.u32(3'000'000);
+  EXPECT_FALSE(deserialize_type_list(w.bytes()).ok());
+  EXPECT_FALSE(deserialize_blob_list(w.bytes()).ok());
 }
 
 TEST(ProtocolCodec, ViewRoundTripSortsMembers) {
