@@ -49,3 +49,11 @@ execute_process(COMMAND ${GOSSIP_SCALE} --quick RESULT_VARIABLE rc_gossip)
 if(NOT rc_gossip EQUAL 0)
   message(FATAL_ERROR "gossip_scale --quick failed (exit ${rc_gossip})")
 endif()
+
+# Scheduler scale gate: batched directives over a sharded pool under client
+# churn. Non-zero exit means a lost/double-issued unit, a failed replay
+# dedupe, an unswept dead client, or unbounded directive latency.
+execute_process(COMMAND ${SCHED_SCALE} --quick RESULT_VARIABLE rc_sched)
+if(NOT rc_sched EQUAL 0)
+  message(FATAL_ERROR "sched_scale --quick failed (exit ${rc_sched})")
+endif()

@@ -27,6 +27,15 @@ core::RamseyClient::Options client_options(infra::SimHost& host,
   o.report_interval = config.report_interval;
   o.initial_sleep_max = config.initial_sleep_max;
   o.seed = config.seed ^ fnv1a64(host.spec().name);
+  o.units_per_client = config.units_per_client;
+  const bool modeled = config.modeled;
+  o.executor_factory = [modeled] {
+    return modeled
+               ? std::unique_ptr<core::WorkExecutor>(
+                     std::make_unique<core::ModeledWorkExecutor>())
+               : std::unique_ptr<core::WorkExecutor>(
+                     std::make_unique<core::RealWorkExecutor>());
+  };
   return o;
 }
 }  // namespace

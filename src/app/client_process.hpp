@@ -25,6 +25,9 @@ class ClientProcess final : public infra::Process {
     bool modeled = true;  // ModeledWorkExecutor (fleets) vs real heuristics
     std::uint16_t port = 2000;
     std::uint64_t seed = 1;
+    /// Lease size per client (batched directive API); executors are minted
+    /// per unit from the same modeled/real choice.
+    std::uint32_t units_per_client = 1;
   };
 
   ClientProcess(Executor& exec, Transport& transport, infra::SimHost& host,

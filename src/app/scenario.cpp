@@ -76,6 +76,7 @@ core::SchedulerServer::Options Sc98Scenario::scheduler_options(int index) const 
   o.pool.n = opts_.pool_n;
   o.pool.k = opts_.pool_k;
   o.pool.seed_base = opts_.seed * 7919 + static_cast<std::uint64_t>(index) * 104729;
+  o.pool_shards = static_cast<std::uint32_t>(std::max(1, opts_.sched_pool_shards));
   return o;
 }
 
@@ -322,6 +323,8 @@ void Sc98Scenario::build_adapters() {
   base.report_interval = opts_.report_interval;
   base.modeled = true;
   base.seed = opts_.seed;
+  base.units_per_client =
+      static_cast<std::uint32_t>(std::max(1, opts_.units_per_client));
 
   auto profile_for = [this](core::Infra kind) {
     infra::PoolProfile p = infra::default_profile(kind);
@@ -360,6 +363,8 @@ void Sc98Scenario::build_adapters() {
   legion_ = legion.get();
   legion->translator().forward(core::msgtype::kSchedRegister, scheduler_endpoints());
   legion->translator().forward(core::msgtype::kSchedReport, scheduler_endpoints());
+  legion->translator().forward(core::msgtype::kSchedReportBatch,
+                               scheduler_endpoints());
   legion->start(
       factory_for(core::Infra::kLegion, {legion->translator_endpoint()}));
   adapters_.push_back(std::move(legion));

@@ -77,6 +77,10 @@ struct ScenarioOptions {
   Duration report_interval = 2 * kMinute;
   int pool_n = 42;  // search K_42 colorings for mono-K_5 freedom (R5 bound)
   int pool_k = 5;
+  /// Work-unit lease per client (batched directive API, DESIGN.md §13).
+  int units_per_client = 1;
+  /// Range-shards inside each scheduler's work pool.
+  int sched_pool_shards = 1;
   /// Per-infrastructure host-count override; 0 keeps the calibrated default.
   std::array<int, core::kInfraCount> host_count_override{};
   /// Scale every pool's host count (quick small runs for tests).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/registry.hpp"
 
 namespace ew::core {
 
@@ -64,10 +65,9 @@ ramsey::WorkReport ModeledWorkExecutor::execute(std::uint64_t ops_budget) {
 
 RamseyClient::RamseyClient(Node& node, std::unique_ptr<WorkExecutor> executor,
                            Options opts)
-    : node_(node),
-      executor_(std::move(executor)),
-      opts_(std::move(opts)),
-      rng_(opts_.seed) {}
+    : node_(node), opts_(std::move(opts)), rng_(opts_.seed) {
+  spares_.push_back(std::move(executor));
+}
 
 void RamseyClient::start() {
   if (running_) return;
@@ -86,6 +86,48 @@ void RamseyClient::stop() {
   node_.executor().cancel(work_timer_);
 }
 
+std::uint32_t RamseyClient::want_units() const {
+  // Without a factory the constructor's single executor caps the lease at 1.
+  if (!opts_.executor_factory) return 1;
+  return std::max<std::uint32_t>(1, opts_.units_per_client);
+}
+
+std::unique_ptr<WorkExecutor> RamseyClient::make_executor() {
+  if (!spares_.empty()) {
+    auto exec = std::move(spares_.back());
+    spares_.pop_back();
+    return exec;
+  }
+  if (opts_.executor_factory) return opts_.executor_factory();
+  return nullptr;
+}
+
+void RamseyClient::apply_directives(DirectiveBatch&& d) {
+  for (auto id : d.revoke) {
+    auto it = std::find_if(runs_.begin(), runs_.end(), [&](const UnitRun& r) {
+      return r.spec.unit_id == id;
+    });
+    if (it == runs_.end()) continue;  // replayed revoke: already dropped
+    spares_.push_back(std::move(it->exec));
+    runs_.erase(it);
+  }
+  for (auto& spec : d.assign) {
+    const bool held = std::any_of(runs_.begin(), runs_.end(), [&](const UnitRun& r) {
+      return r.spec.unit_id == spec.unit_id;
+    });
+    if (held) continue;  // replayed assign: keep the in-progress run
+    auto exec = make_executor();
+    if (!exec) break;  // no capacity for more units
+    exec->reset(spec);
+    runs_.push_back(UnitRun{std::move(spec), std::move(exec)});
+  }
+}
+
+void RamseyClient::drop_all_runs() {
+  for (auto& run : runs_) spares_.push_back(std::move(run.exec));
+  runs_.clear();
+}
+
 void RamseyClient::register_with(std::size_t index) {
   if (!running_ || opts_.schedulers.empty()) return;
   const Endpoint target = opts_.schedulers[index % opts_.schedulers.size()];
@@ -93,6 +135,7 @@ void RamseyClient::register_with(std::size_t index) {
   hello.client = node_.self();
   hello.infra = opts_.infra;
   hello.host = opts_.host_label;
+  hello.want_units = want_units();
   ++registrations_;
   // Registration is idempotent at the scheduler, so a lost hello can be
   // resent inside the call before the slower app-level failover kicks in.
@@ -108,25 +151,20 @@ void RamseyClient::register_with(std::size_t index) {
                      opts_.retry_delay, [this] { register_with(sched_index_); });
                  return;
                }
-               auto d = Directive::deserialize(*r);
-               if (!d || !d->spec) {
+               auto d = DirectiveBatch::deserialize(*r);
+               if (d) apply_directives(std::move(*d));
+               if (runs_.empty()) {
                  work_timer_ = node_.executor().schedule(
                      opts_.retry_delay, [this] { register_with(sched_index_); });
                  return;
                }
                sched_index_ = index;  // remember who owns us
-               begin_work(std::move(*d->spec));
+               schedule_quantum();
              });
 }
 
-void RamseyClient::begin_work(ramsey::WorkSpec spec) {
-  spec_ = std::move(spec);
-  executor_->reset(*spec_);
-  schedule_quantum();
-}
-
 void RamseyClient::schedule_quantum() {
-  if (!running_ || !spec_) return;
+  if (!running_ || runs_.empty()) return;
   if (!opts_.simulated_time) {
     // Real computation: run the quantum after a nominal tick so callers
     // driving a virtual clock (run_for) always make progress.
@@ -145,51 +183,75 @@ void RamseyClient::schedule_quantum() {
 }
 
 void RamseyClient::finish_quantum() {
-  if (!running_ || !spec_) return;
+  if (!running_ || runs_.empty()) return;
   ++quanta_;
-  std::uint64_t budget = spec_->report_ops;
+  ReportBatch batch;
+  batch.client = node_.self();
+  batch.seq = ++report_seq_;
+  batch.want_units = want_units();
+  batch.reports.reserve(runs_.size());
   if (opts_.simulated_time) {
     // Credit what the host actually delivered over the quantum, sampled at
-    // completion so load drops show up in the reported rate.
+    // completion so load drops show up in the reported rate — split evenly
+    // across the held lease.
     const double rate = opts_.rate_source ? opts_.rate_source() : 0.0;
-    budget = std::max<std::uint64_t>(
+    const auto total = std::max<std::uint64_t>(
         static_cast<std::uint64_t>(rate * to_seconds(opts_.report_interval)),
         100'000);
+    const auto per_unit =
+        std::max<std::uint64_t>(total / runs_.size(), 1);
+    for (auto& run : runs_) {
+      ramsey::WorkReport rep = run.exec->execute(per_unit);
+      if (rep.found) ++found_;
+      batch.reports.push_back(std::move(rep));
+    }
+  } else {
+    for (auto& run : runs_) {
+      ramsey::WorkReport rep = run.exec->execute(run.spec.report_ops);
+      if (rep.found) ++found_;
+      batch.reports.push_back(std::move(rep));
+    }
   }
-  ramsey::WorkReport rep = executor_->execute(budget);
-  if (rep.found) ++found_;
-  send_report(std::move(rep));
+  send_report_batch(std::move(batch));
 }
 
-void RamseyClient::send_report(ramsey::WorkReport rep) {
+void RamseyClient::send_report_batch(ReportBatch batch) {
   const Endpoint target = opts_.schedulers[sched_index_ % opts_.schedulers.size()];
-  const std::uint64_t ops = rep.ops_done;
-  ReportEnvelope env;
-  env.client = node_.self();
-  env.report = std::move(rep);
-  // Reports advance scheduler-side progress state, so they are NOT resent
-  // blindly; recovery is the app-level re-register/failover below.
+  std::uint64_t ops = 0;
+  for (const auto& rep : batch.reports) ops += rep.ops_done;
+  const TimePoint sent = node_.executor().now();
+  // The scheduler dedupes on batch.seq and replays its cached reply, so the
+  // report call is retried and hedged like any idempotent call — a dropped
+  // reply costs one round-trip, not the whole lease.
   CallOptions rpt;
+  rpt.retry = RetryPolicy::standard(1);
+  rpt.hedge = HedgePolicy::at(0.95);
   rpt.trace_tag = "client.report";
-  node_.call(target, msgtype::kSchedReport, env.serialize(), std::move(rpt),
-             [this, ops](Result<Bytes> r) {
+  node_.call(target, msgtype::kSchedReportBatch, batch.serialize(),
+             std::move(rpt), [this, ops, sent](Result<Bytes> r) {
                if (!running_) return;
                if (!r.ok()) {
                  // Scheduler lost or we are unknown to it: re-register
                  // (rejection keeps the same scheduler; failure fails over).
-                 spec_.reset();
+                 drop_all_runs();
                  if (r.code() != Err::kRejected) ++sched_index_;
                  work_timer_ = node_.executor().schedule(
                      opts_.retry_delay, [this] { register_with(sched_index_); });
                  return;
                }
                ops_reported_ += ops;
-               auto d = Directive::deserialize(*r);
-               if (d && d->spec) {
-                 begin_work(std::move(*d->spec));
-               } else {
-                 schedule_quantum();
+               const TimePoint now = node_.executor().now();
+               obs::registry()
+                   .histogram(obs::names::kSchedDirectiveLatencyUs)
+                   .record(static_cast<std::uint64_t>(now - sent));
+               auto d = DirectiveBatch::deserialize(*r);
+               if (d) apply_directives(std::move(*d));
+               if (runs_.empty()) {
+                 work_timer_ = node_.executor().schedule(
+                     opts_.retry_delay, [this] { register_with(sched_index_); });
+                 return;
                }
+               schedule_quantum();
              });
 }
 

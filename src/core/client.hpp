@@ -8,6 +8,13 @@
 // reports, following whatever directives come back. Scheduler failure makes
 // it fail over down the list and re-register.
 //
+// A client holds a *lease* of units_per_client work units and speaks the
+// batched directive API (DESIGN.md §13): one kSchedReportBatch per quantum
+// covers every held unit, and the DirectiveBatch reply revokes/assigns units
+// in bulk. Batches carry a monotone sequence number the scheduler dedupes
+// on, so the report call is retried and hedged like any other idempotent
+// call — report loss no longer forces the old drop-everything re-register.
+//
 // Compute is pluggable: RealWorkExecutor actually runs the Ramsey heuristics
 // (examples, tests, the §5.6 Java bench); ModeledWorkExecutor advances a
 // calibrated synthetic search (the 12-hour SC98 scenario, where running real
@@ -85,6 +92,12 @@ class RamseyClient {
     Duration initial_sleep_max = 60 * kSecond;  // §5.5 randomized start sleep
     Duration retry_delay = 10 * kSecond;
     std::uint64_t seed = 1;
+    /// Lease size: units held (and reported on) concurrently. Values > 1
+    /// require executor_factory; without a factory the lease stays at 1.
+    std::uint32_t units_per_client = 1;
+    /// Mints one executor per leased unit (the constructor's executor
+    /// serves the first).
+    std::function<std::unique_ptr<WorkExecutor>()> executor_factory;
   };
 
   RamseyClient(Node& node, std::unique_ptr<WorkExecutor> executor, Options opts);
@@ -92,26 +105,36 @@ class RamseyClient {
   void start();
   void stop();
 
-  [[nodiscard]] bool has_work() const { return bool(spec_); }
+  [[nodiscard]] bool has_work() const { return !runs_.empty(); }
+  [[nodiscard]] std::size_t units_held() const { return runs_.size(); }
   [[nodiscard]] std::uint64_t quanta_completed() const { return quanta_; }
   [[nodiscard]] std::uint64_t ops_reported() const { return ops_reported_; }
   [[nodiscard]] std::uint64_t registrations() const { return registrations_; }
   [[nodiscard]] std::uint64_t found_count() const { return found_; }
 
  private:
+  struct UnitRun {
+    ramsey::WorkSpec spec;
+    std::unique_ptr<WorkExecutor> exec;
+  };
+
+  [[nodiscard]] std::uint32_t want_units() const;
+  std::unique_ptr<WorkExecutor> make_executor();
+  void apply_directives(DirectiveBatch&& d);
+  void drop_all_runs();
   void register_with(std::size_t index);
-  void begin_work(ramsey::WorkSpec spec);
   void schedule_quantum();
   void finish_quantum();
-  void send_report(ramsey::WorkReport rep);
+  void send_report_batch(ReportBatch batch);
 
   Node& node_;
-  std::unique_ptr<WorkExecutor> executor_;
   Options opts_;
   Rng rng_;
   bool running_ = false;
   std::size_t sched_index_ = 0;
-  std::optional<ramsey::WorkSpec> spec_;
+  std::vector<UnitRun> runs_;                           // held lease
+  std::vector<std::unique_ptr<WorkExecutor>> spares_;   // executor free list
+  std::uint64_t report_seq_ = 0;
   std::uint64_t quanta_ = 0;
   std::uint64_t ops_reported_ = 0;
   std::uint64_t registrations_ = 0;

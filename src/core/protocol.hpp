@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "gossip/protocol.hpp"
@@ -19,9 +20,14 @@
 namespace ew::core {
 
 namespace msgtype {
-// Scheduler.
-constexpr MsgType kSchedRegister = 0x0201;  // client hello -> first work spec
-constexpr MsgType kSchedReport = 0x0202;    // progress report -> directive
+// Scheduler. All four request payloads open with the shared versioned
+// envelope (u8 version, u16 kind); every reply is a DirectiveBatch.
+constexpr MsgType kSchedRegister = 0x0201;  // client hello -> directive batch
+// DEPRECATED (this PR only): single-report shim, routed through the batch
+// handler as a batch of one. New clients send kSchedReportBatch.
+constexpr MsgType kSchedReport = 0x0202;
+constexpr MsgType kSchedReportBatch = 0x0203;     // many reports -> directives
+constexpr MsgType kSchedDirectiveBatch = 0x0204;  // reply envelope kind
 // Persistent state manager.
 constexpr MsgType kStateStore = 0x0210;
 constexpr MsgType kStateFetch = 0x0211;
@@ -61,19 +67,39 @@ enum class Infra : std::uint8_t {
 constexpr int kInfraCount = 7;
 const char* infra_name(Infra i);
 
+/// Wire version of the scheduler message family. v2 added the versioned
+/// envelope itself, batched reports/directives, and multi-unit leases; v1
+/// (headerless per-unit encoding) is no longer decoded.
+constexpr std::uint8_t kSchedWireVersion = 2;
+
+/// Ceiling on any list carried by a scheduler batch message. Combined with
+/// the per-element minimum-size check this bounds decoder allocation long
+/// before the 16 MiB frame cap would.
+constexpr std::uint32_t kMaxSchedBatch = 65'536;
+
+/// Envelope helpers shared by every scheduler payload: u8 version (1 ..
+/// kSchedWireVersion accepted) + u16 message kind (must match the MsgType
+/// the payload travels under, so a frame replayed at the wrong type fails
+/// decode instead of being misinterpreted).
+void write_sched_header(Writer& w, MsgType kind);
+Result<std::uint8_t> read_sched_header(Reader& r, MsgType kind);
+
 /// Client identification sent with kSchedRegister.
 struct ClientHello {
   Endpoint client;
   Infra infra = Infra::kUnix;
   std::string host;
+  std::uint32_t want_units = 1;  // lease size the client asks to hold
 
   [[nodiscard]] Bytes serialize() const;
   static Result<ClientHello> deserialize(const Bytes& data);
 };
 
-/// Progress report wrapper: carries the reporting client's own contact
-/// address because the transport-level sender may be an intermediary (the
-/// Legion translator object forwards its components' reports, Section 5.3).
+/// DEPRECATED (one-PR shim): single progress report wrapper. Carries the
+/// reporting client's own contact address because the transport-level sender
+/// may be an intermediary (the Legion translator object forwards its
+/// components' reports, Section 5.3). The scheduler routes it through the
+/// batch handler as a ReportBatch of one.
 struct ReportEnvelope {
   Endpoint client;
   ramsey::WorkReport report;
@@ -82,13 +108,31 @@ struct ReportEnvelope {
   static Result<ReportEnvelope> deserialize(const Bytes& data);
 };
 
-/// Scheduler directive: what the client should work on next (absent spec
-/// means "keep doing what you are doing").
-struct Directive {
-  std::optional<ramsey::WorkSpec> spec;
+/// Batched progress reports: one hedged call carries every unit the client
+/// touched this quantum. `seq` is a per-client monotone sequence number; the
+/// scheduler caches the last reply per client and replays it on a duplicate
+/// seq, which makes the batch safe to retry and hedge (the pool mutations
+/// are applied exactly once). seq 0 opts out (legacy shim path).
+struct ReportBatch {
+  Endpoint client;
+  std::uint64_t seq = 0;
+  std::uint32_t want_units = 1;  // lease size to top back up to
+  std::vector<ramsey::WorkReport> reports;
 
   [[nodiscard]] Bytes serialize() const;
-  static Result<Directive> deserialize(const Bytes& data);
+  static Result<ReportBatch> deserialize(const Bytes& data);
+};
+
+/// Scheduler reply to every register/report call: units the client must stop
+/// working on (revoked: migrated away or retired) and new assignments. An
+/// empty batch means "keep doing what you are doing".
+struct DirectiveBatch {
+  std::vector<std::uint64_t> revoke;
+  std::vector<ramsey::WorkSpec> assign;
+
+  [[nodiscard]] bool empty() const { return revoke.empty() && assign.empty(); }
+  [[nodiscard]] Bytes serialize() const;
+  static Result<DirectiveBatch> deserialize(const Bytes& data);
 };
 
 /// A performance record shipped to the logging service (Section 3.1.3:

@@ -11,8 +11,19 @@
 
 namespace ew::core {
 
+namespace {
+
+void erase_unit(std::vector<std::uint64_t>& units, std::uint64_t id) {
+  units.erase(std::remove(units.begin(), units.end(), id), units.end());
+}
+
+}  // namespace
+
 SchedulerServer::SchedulerServer(Node& node, Options opts)
-    : node_(node), opts_(opts), pool_(opts.pool) {}
+    : node_(node),
+      opts_(opts),
+      pool_(ShardedWorkPool::Options{opts.pool,
+                                     std::max<std::uint32_t>(1, opts.pool_shards)}) {}
 
 void SchedulerServer::start() {
   if (running_) return;
@@ -23,6 +34,8 @@ void SchedulerServer::start() {
                [this](const IncomingMessage& m, Responder r) { on_register(m, r); });
   node_.handle(msgtype::kSchedReport,
                [this](const IncomingMessage& m, Responder r) { on_report(m, r); });
+  node_.handle(msgtype::kSchedReportBatch,
+               [this](const IncomingMessage& m, Responder r) { on_report_batch(m, r); });
   sweep_timer_ = node_.executor().schedule(opts_.sweep_period, [this] { sweep_tick(); });
   migrate_timer_ =
       node_.executor().schedule(opts_.migration_period, [this] { migrate_tick(); });
@@ -41,8 +54,13 @@ void SchedulerServer::stop() {
   node_.executor().cancel(checkpoint_timer_);
 }
 
-std::string SchedulerServer::checkpoint_name() const {
-  return "sched/frontier/" + node_.self().to_string();
+std::string SchedulerServer::checkpoint_name(std::uint32_t shard) const {
+  return "sched/frontier/" + node_.self().to_string() + "/shard-" +
+         std::to_string(shard);
+}
+
+std::uint32_t SchedulerServer::clamp_want(std::uint32_t want) const {
+  return std::clamp<std::uint32_t>(want, 1, opts_.max_units_per_client);
 }
 
 void SchedulerServer::note_unit_issued(std::uint64_t unit_id) {
@@ -61,46 +79,71 @@ void SchedulerServer::note_unit_reclaimed(std::uint64_t unit_id,
                       static_cast<std::int64_t>(unit_id), reason);
 }
 
+void SchedulerServer::update_pool_gauges() {
+  obs::registry().gauge(obs::names::kSchedOutstandingUnits)
+      .set(static_cast<double>(pool_.assigned_count()));
+  obs::registry().gauge(obs::names::kSchedFrontierUnits)
+      .set(static_cast<double>(pool_.idle_frontier_size()));
+  const std::uint64_t steals = pool_.steals();
+  if (steals > steals_seen_) {
+    obs::registry().counter(obs::names::kSchedShardSteals)
+        .inc(steals - steals_seen_);
+    steals_seen_ = steals;
+  }
+}
+
 void SchedulerServer::checkpoint_tick() {
   if (!running_) return;
   checkpoint_timer_ = node_.executor().schedule(opts_.checkpoint_period,
                                                 [this] { checkpoint_tick(); });
-  StoreRequest req;
-  req.name = checkpoint_name();
-  // Version by current time: monotonically fresher across restarts too.
-  req.blob = gossip::versioned_blob(
-      static_cast<std::uint64_t>(node_.executor().now()), pool_.export_frontier());
-  // Checkpoint stores are versioned, so a duplicate arrival is harmless and
-  // a retry is pure upside.
-  CallOptions ckpt;
-  ckpt.retry = RetryPolicy::standard(2);
-  ckpt.trace_tag = "sched.checkpoint";
-  node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
-             std::move(ckpt), [](Result<Bytes>) {});
+  // Incremental: only shards whose frontier content changed since their last
+  // export are stored, each under its own per-shard name.
+  for (std::uint32_t k = 0; k < pool_.shard_count(); ++k) {
+    if (!pool_.shard_dirty(k)) continue;
+    StoreRequest req;
+    req.name = checkpoint_name(k);
+    // Version by current time: monotonically fresher across restarts too.
+    req.blob = gossip::versioned_blob(
+        static_cast<std::uint64_t>(node_.executor().now()),
+        pool_.export_shard(k));
+    // Checkpoint stores are versioned, so a duplicate arrival is harmless and
+    // a retry is pure upside.
+    CallOptions ckpt;
+    ckpt.retry = RetryPolicy::standard(2);
+    ckpt.trace_tag = "sched.checkpoint";
+    node_.call(opts_.state_manager, msgtype::kStateStore, req.serialize(),
+               std::move(ckpt), [](Result<Bytes>) {});
+  }
 }
 
 void SchedulerServer::restore_frontier() {
-  Writer w;
-  w.str(checkpoint_name());
-  // A missed restore silently loses the frontier, so spend retries — and a
-  // hedge once the fetch RTT is known — before giving up on it.
-  CallOptions fetch;
-  fetch.retry = RetryPolicy::standard(3);
-  fetch.hedge = HedgePolicy::at(0.95);
-  fetch.trace_tag = "sched.restore";
-  node_.call(opts_.state_manager, msgtype::kStateFetch, w.take(),
-             std::move(fetch), [this](Result<Bytes> r) {
-               if (!running_) return;
-               if (!r.ok()) return;  // no checkpoint yet: fresh start
-               auto body = gossip::blob_body(*r);
-               if (!body) return;
-               const std::size_t n = pool_.import_frontier(*body);
-               restored_ += n;
-               if (n > 0) {
-                 EW_DEBUG << node_.self().to_string() << ": restored " << n
-                          << " frontier units from checkpoint";
-               }
-             });
+  // One fetch per shard: a restarted scheduler re-imports each shard's
+  // checkpoint into exactly that shard, whose pool refuses ids outside its
+  // range — recovery replays only the slice that belongs there.
+  for (std::uint32_t k = 0; k < pool_.shard_count(); ++k) {
+    Writer w;
+    w.str(checkpoint_name(k));
+    // A missed restore silently loses the frontier, so spend retries — and a
+    // hedge once the fetch RTT is known — before giving up on it.
+    CallOptions fetch;
+    fetch.retry = RetryPolicy::standard(3);
+    fetch.hedge = HedgePolicy::at(0.95);
+    fetch.trace_tag = "sched.restore";
+    node_.call(opts_.state_manager, msgtype::kStateFetch, w.take(),
+               std::move(fetch), [this, k](Result<Bytes> r) {
+                 if (!running_) return;
+                 if (!r.ok()) return;  // no checkpoint yet: fresh start
+                 auto body = gossip::blob_body(*r);
+                 if (!body) return;
+                 const std::size_t n = pool_.import_shard(k, *body);
+                 restored_ += n;
+                 if (n > 0) {
+                   EW_DEBUG << node_.self().to_string() << ": restored " << n
+                            << " frontier units into shard " << k
+                            << " from checkpoint";
+                 }
+               });
+  }
 }
 
 void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& resp) {
@@ -110,98 +153,167 @@ void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& r
     return;
   }
   // A re-registration from a client we thought was active means it lost its
-  // work (eviction, restart): reclaim the old unit first.
+  // work (eviction, restart): reclaim the old lease first.
   auto it = clients_.find(hello->client);
-  if (it != clients_.end() && it->second.unit_id != 0) {
-    pool_.release(it->second.unit_id);
-    note_unit_reclaimed(it->second.unit_id, obs::reclaim::kReleased);
+  if (it != clients_.end() && !it->second.units.empty()) {
+    for (auto id : it->second.units) {
+      note_unit_reclaimed(id, obs::reclaim::kReleased);
+    }
+    pool_.reclaim_many(it->second.units);
   }
   ClientInfo info;
   info.hello = std::move(*hello);
+  info.want = clamp_want(info.hello.want_units);
   info.last_report = node_.executor().now();
-  const ramsey::WorkSpec spec = pool_.acquire();
-  info.unit_id = spec.unit_id;
-  note_unit_issued(spec.unit_id);
-  clients_[info.hello.client] = std::move(info);
-  Directive d;
-  d.spec = spec;
-  obs::registry().counter(obs::names::kSchedDispatches).inc();
+  DirectiveBatch d;
+  d.assign = pool_.issue_many(info.want);
+  info.units.reserve(d.assign.size());
+  for (const auto& spec : d.assign) {
+    info.units.push_back(spec.unit_id);
+    note_unit_issued(spec.unit_id);
+  }
+  obs::registry().counter(obs::names::kSchedDispatches).inc(d.assign.size());
   if (obs::trace().enabled()) {
     obs::trace().record(node_.executor().now(), obs::SpanKind::kSchedDispatch,
                         obs::trace().intern(msg.from.to_string()),
                         /*a=register=*/0,
-                        static_cast<std::int64_t>(clients_.size()));
+                        static_cast<std::int64_t>(clients_.size() + 1));
   }
+  clients_[info.hello.client] = std::move(info);
+  update_pool_gauges();
   resp.ok(d.serialize());
 }
 
 void SchedulerServer::on_report(const IncomingMessage& msg, const Responder& resp) {
+  // DEPRECATED per-unit shim: wrap the single report as a batch of one and
+  // run it through the batch core (seq 0 = no reply-cache dedupe, matching
+  // the old path's no-retry call policy).
   auto env = ReportEnvelope::deserialize(msg.packet.payload);
   if (!env) {
     resp.fail(Err::kProtocol, env.error().message);
     return;
   }
-  const auto rep = &env->report;
-  auto it = clients_.find(env->client);
+  ReportBatch batch;
+  batch.client = std::move(env->client);
+  batch.seq = 0;
+  auto it = clients_.find(batch.client);
+  batch.want_units = it != clients_.end() ? it->second.want : 1;
+  batch.reports.push_back(std::move(env->report));
+  handle_report_batch(std::move(batch), resp);
+}
+
+void SchedulerServer::on_report_batch(const IncomingMessage& msg,
+                                      const Responder& resp) {
+  auto batch = ReportBatch::deserialize(msg.packet.payload);
+  if (!batch) {
+    resp.fail(Err::kProtocol, batch.error().message);
+    return;
+  }
+  handle_report_batch(std::move(*batch), resp);
+}
+
+void SchedulerServer::handle_report_batch(ReportBatch&& batch,
+                                          const Responder& resp) {
+  auto it = clients_.find(batch.client);
   if (it == clients_.end()) {
     // We do not know this client (scheduler restarted, or the client was
     // swept). Make it re-register rather than guessing.
     resp.fail(Err::kRejected, "unregistered client");
     return;
   }
-  ++reports_;
-  obs::registry().counter(obs::names::kSchedReports).inc();
   ClientInfo& info = it->second;
+  // Hedged/retried duplicate: replay the cached reply, touch nothing. This
+  // is what makes the batch call safe to hedge — the pool mutations below
+  // run exactly once per sequence number.
+  if (batch.seq != 0 && batch.seq == info.last_seq) {
+    ++replays_;
+    obs::registry().counter(obs::names::kSchedBatchReplays).inc();
+    resp.ok(Bytes(info.last_reply));
+    return;
+  }
+  ++batches_;
+  reports_ += batch.reports.size();
+  obs::registry().counter(obs::names::kSchedReports).inc(batch.reports.size());
+  obs::registry().counter(obs::names::kSchedBatchReports).inc();
   const TimePoint now = node_.executor().now();
   const Duration gap = now - info.last_report;
   info.last_report = now;
+
+  std::uint64_t total_ops = 0;
+  std::uint64_t batch_best = ~0ULL;
+  bool any_found = false;
+  for (const auto& rep : batch.reports) {
+    total_ops += rep.ops_done;
+    batch_best = std::min(batch_best, rep.best_energy);
+    any_found = any_found || rep.found;
+    // Progress accounting per heuristic kind, before the pool absorbs the
+    // report: the directive policy steers fresh units toward whichever
+    // algorithm has been buying the most energy reduction per op.
+    if (const auto kind = pool_.unit_kind(rep.unit_id)) {
+      const auto prev = pool_.best_energy(rep.unit_id);
+      KindStats& ks = kind_stats_[static_cast<std::size_t>(*kind)];
+      if (prev && rep.best_energy < *prev) {
+        ks.improvement += static_cast<double>(*prev - rep.best_energy);
+      }
+      ks.gops += static_cast<double>(rep.ops_done) / 1e9;
+    }
+  }
   if (gap > 0) {
     info.interval.observe(static_cast<double>(gap));
-    info.rate.observe(static_cast<double>(rep->ops_done) / to_seconds(gap));
+    info.rate.observe(static_cast<double>(total_ops) / to_seconds(gap));
   }
-  // Progress accounting per heuristic kind, before the pool absorbs the
-  // report: the directive policy steers fresh units toward whichever
-  // algorithm has been buying the most energy reduction per op.
-  if (const auto kind = pool_.unit_kind(rep->unit_id)) {
-    const auto prev = pool_.best_energy(rep->unit_id);
-    KindStats& ks = kind_stats_[static_cast<std::size_t>(*kind)];
-    if (prev && rep->best_energy < *prev) {
-      ks.improvement += static_cast<double>(*prev - rep->best_energy);
-    }
-    ks.gops += static_cast<double>(rep->ops_done) / 1e9;
+  pool_.report_many(batch.reports);
+  for (const auto& rep : batch.reports) {
+    note_best(rep.best_energy, rep.best_graph, rep.found);
+    if (rep.found) store_counterexample(rep);
   }
-  pool_.report(*rep);
-  note_best(rep->best_energy, rep->best_graph, rep->found);
-  forward_log(info, *rep);
-  if (rep->found) store_counterexample(*rep);
+  if (!batch.reports.empty()) {
+    forward_log(info, total_ops, batch_best == ~0ULL ? 0 : batch_best,
+                any_found);
+  }
 
-  Directive d;
-  if (info.pending) {
-    d.spec = std::move(info.pending);
-    info.pending.reset();
-    info.unit_id = d.spec->unit_id;
-    obs::registry().counter(obs::names::kSchedDispatches).inc();
+  info.want = clamp_want(batch.want_units);
+  DirectiveBatch d = std::move(info.pending);
+  info.pending = DirectiveBatch{};
+  // Top the lease back up to the client's target.
+  if (info.units.size() < info.want) {
+    auto specs = pool_.issue_many(info.want - info.units.size());
+    for (auto& spec : specs) {
+      info.units.push_back(spec.unit_id);
+      note_unit_issued(spec.unit_id);
+      d.assign.push_back(std::move(spec));
+    }
+  }
+  if (!d.assign.empty()) {
+    obs::registry().counter(obs::names::kSchedDispatches).inc(d.assign.size());
     if (obs::trace().enabled()) {
       obs::trace().record(now, obs::SpanKind::kSchedDispatch,
-                          obs::trace().intern(env->client.to_string()),
+                          obs::trace().intern(batch.client.to_string()),
                           /*a=redirect=*/1,
                           static_cast<std::int64_t>(clients_.size()));
     }
   }
-  resp.ok(d.serialize());
+  Bytes reply = d.serialize();
+  if (batch.seq != 0) {
+    info.last_seq = batch.seq;
+    info.last_reply = reply;
+  }
+  update_pool_gauges();
+  resp.ok(std::move(reply));
 }
 
 void SchedulerServer::forward_log(const ClientInfo& info,
-                                  const ramsey::WorkReport& rep) {
+                                  std::uint64_t total_ops,
+                                  std::uint64_t best_energy, bool found) {
   if (!opts_.logging.valid()) return;
   LogRecord rec;
   rec.when = node_.executor().now();
   rec.client = info.hello.client;
   rec.infra = info.hello.infra;
   rec.host = info.hello.host;
-  rec.ops = rep.ops_done;
-  rec.best_energy = rep.best_energy;
-  rec.found = rep.found;
+  rec.ops = total_ops;
+  rec.best_energy = best_energy;
+  rec.found = found;
   node_.send_oneway(opts_.logging, msgtype::kLogRecord, rec.serialize());
 }
 
@@ -290,10 +402,12 @@ void SchedulerServer::sweep_tick() {
   for (auto it = clients_.begin(); it != clients_.end();) {
     if (now - it->second.last_report > overdue_threshold(it->second)) {
       // Presumed dead (reclaimed host, network partition, browser closed).
-      // Its unit goes back to the pool with whatever coloring it last
-      // reported — the work, unlike the process, survives.
-      pool_.release(it->second.unit_id);
-      note_unit_reclaimed(it->second.unit_id, obs::reclaim::kPresumedDead);
+      // Its whole lease goes back to the pool with whatever colorings it
+      // last reported — the work, unlike the process, survives.
+      for (auto id : it->second.units) {
+        note_unit_reclaimed(id, obs::reclaim::kPresumedDead);
+      }
+      pool_.reclaim_many(it->second.units);
       ++presumed_dead_;
       obs::registry().counter(obs::names::kSchedPresumedDead).inc();
       it = clients_.erase(it);
@@ -301,6 +415,7 @@ void SchedulerServer::sweep_tick() {
       ++it;
     }
   }
+  update_pool_gauges();
   sweep_timer_ = node_.executor().schedule(opts_.sweep_period, [this] { sweep_tick(); });
 }
 
@@ -315,7 +430,7 @@ void SchedulerServer::migrate_tick() {
   std::vector<std::pair<double, Endpoint>> rates;
   for (const auto& [ep, info] : clients_) {
     const Forecast f = info.rate.forecast();
-    if (f.samples >= 2 && !info.pending) rates.emplace_back(f.value, ep);
+    if (f.samples >= 2 && info.pending.empty()) rates.emplace_back(f.value, ep);
   }
   if (rates.size() < 2) return;
   std::sort(rates.begin(), rates.end(),
@@ -330,39 +445,66 @@ void SchedulerServer::migrate_tick() {
 
   ClientInfo& slow = clients_.at(slow_ep);
   slow.last_migration = now;
-  const std::uint64_t unit = slow.unit_id;
-  if (!pool_.best_energy(unit)) return;  // no reported state to carry over
+  // Units worth carrying over: those with reported state, best energy first.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cand;  // (energy, id)
+  for (auto id : slow.units) {
+    if (const auto e = pool_.best_energy(id)) cand.emplace_back(*e, id);
+  }
+  if (cand.empty()) return;
+  std::sort(cand.begin(), cand.end());
 
   // "It may choose to migrate that client's current workload to a machine
-  // that it predicts will be faster": the fastest other client takes over
-  // the slow client's unit (resuming its coloring); the slow client gets a
-  // replacement stream at its next report.
-  for (auto rit = rates.rbegin(); rit != rates.rend(); ++rit) {
-    if (rit->second == slow_ep) continue;
-    ClientInfo& fast = clients_.at(rit->second);
-    pool_.release(unit);
-    note_unit_reclaimed(unit, obs::reclaim::kMigrated);
-    auto spec = pool_.acquire_unit(unit);
-    if (!spec) return;
-    note_unit_issued(unit);
-    pool_.release(fast.unit_id);
-    note_unit_reclaimed(fast.unit_id, obs::reclaim::kMigrated);
-    fast.pending = std::move(*spec);
-    slow.pending = pool_.acquire();
-    slow.unit_id = slow.pending->unit_id;
-    note_unit_issued(slow.unit_id);
-    ++migrations_;
-    obs::registry().counter(obs::names::kSchedMigrations).inc();
-    if (obs::trace().enabled()) {
-      obs::trace().record(now, obs::SpanKind::kSchedMigration,
-                          obs::trace().intern(slow_ep.to_string()),
-                          static_cast<std::int64_t>(migrations_),
-                          static_cast<std::int64_t>(unit));
-    }
-    EW_DEBUG << "scheduler: migrating unit " << unit << " from "
-             << slow_ep.to_string() << " to " << rit->second.to_string();
-    return;
+  // that it predicts will be faster": the fastest other client takes over up
+  // to half the slow client's reported lease (resuming the colorings); the
+  // slow client's lease refills with fresh streams at its next report.
+  auto fast_it = std::find_if(rates.rbegin(), rates.rend(), [&](const auto& r) {
+    return !(r.second == slow_ep);
+  });
+  if (fast_it == rates.rend()) return;
+  ClientInfo& fast = clients_.at(fast_it->second);
+  const std::vector<std::uint64_t> fast_before = fast.units;
+
+  const std::size_t moves = std::max<std::size_t>(1, cand.size() / 2);
+  std::vector<std::uint64_t> move_ids;
+  move_ids.reserve(moves);
+  for (std::size_t i = 0; i < moves && i < cand.size(); ++i) {
+    move_ids.push_back(cand[i].second);
   }
+  for (auto id : move_ids) note_unit_reclaimed(id, obs::reclaim::kMigrated);
+  pool_.reclaim_many(move_ids);
+  std::size_t moved = 0;
+  for (auto id : move_ids) {
+    auto spec = pool_.issue_unit(id);
+    if (!spec) continue;  // trimmed from the frontier between release/issue
+    note_unit_issued(id);
+    erase_unit(slow.units, id);
+    slow.pending.revoke.push_back(id);
+    fast.units.push_back(id);
+    fast.pending.assign.push_back(std::move(*spec));
+    ++moved;
+  }
+  if (moved == 0) return;
+  // Keep the fast client at its lease target: revoke one of its original
+  // units per takeover (the old swap semantics at want == 1).
+  for (auto id : fast_before) {
+    if (fast.units.size() <= fast.want) break;
+    note_unit_reclaimed(id, obs::reclaim::kMigrated);
+    pool_.reclaim_many(std::span<const std::uint64_t>(&id, 1));
+    erase_unit(fast.units, id);
+    fast.pending.revoke.push_back(id);
+  }
+  obs::registry().counter(obs::names::kSchedUnitsRevoked)
+      .inc(slow.pending.revoke.size() + fast.pending.revoke.size());
+  ++migrations_;
+  obs::registry().counter(obs::names::kSchedMigrations).inc();
+  if (obs::trace().enabled()) {
+    obs::trace().record(now, obs::SpanKind::kSchedMigration,
+                        obs::trace().intern(slow_ep.to_string()),
+                        static_cast<std::int64_t>(migrations_),
+                        static_cast<std::int64_t>(moved));
+  }
+  EW_DEBUG << "scheduler: migrating " << moved << " unit(s) from "
+           << slow_ep.to_string() << " to " << fast_it->second.to_string();
 }
 
 }  // namespace ew::core

@@ -71,6 +71,19 @@ InvariantReport check_invariants(const TraceRecorder& rec,
           }
           if (crashed_since && !it->second.reclaimed) {
             ++report.units_reissued_after_crash;
+          } else if (!it->second.reclaimed) {
+            // No crash since the previous issue and no reclaim in between:
+            // the scheduler handed the same unit to two holders at once.
+            // (A restart re-import is covered by the crash branch above;
+            // migration reclaims before it re-issues.)
+            ++report.units_double_issued;
+            std::ostringstream os;
+            os << "work unit " << static_cast<std::uint64_t>(ev.a)
+               << " re-issued by " << rec.tag_name(ev.tag) << " at t=" << ev.at
+               << " while still outstanding (issued t="
+               << it->second.last_issued_at
+               << ", no reclaim and no crash in between): double-issued";
+            report.violations.push_back(os.str());
           }
           it->second.last_issued_at = ev.at;
           it->second.reclaimed = false;

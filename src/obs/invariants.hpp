@@ -44,6 +44,7 @@ struct InvariantReport {
   std::uint64_t units_issued = 0;
   std::uint64_t units_reclaimed = 0;
   std::uint64_t units_reissued_after_crash = 0;
+  std::uint64_t units_double_issued = 0;
   std::uint64_t units_lost = 0;
   std::uint64_t breaker_opens = 0;
   std::uint64_t breaker_reprobes = 0;

@@ -176,6 +176,8 @@ const std::vector<const char*>& mandatory_counters() {
       names::kCliqueFragmentations, names::kCliqueElections,
       names::kSchedDispatches,    names::kSchedReports,
       names::kSchedMigrations,    names::kSchedPresumedDead,
+      names::kSchedBatchReports,  names::kSchedBatchReplays,
+      names::kSchedUnitsRevoked,  names::kSchedShardSteals,
       names::kForecastMethodSwitches, names::kAppDroppedSamples,
   };
   return kList;
@@ -185,6 +187,8 @@ const std::vector<const char*>& mandatory_gauges() {
   static const std::vector<const char*> kList = {
       names::kNetConnsOpen,
       names::kNetOutboxBytes,
+      names::kSchedOutstandingUnits,
+      names::kSchedFrontierUnits,
   };
   return kList;
 }
@@ -195,6 +199,7 @@ const std::vector<const char*>& mandatory_histograms() {
       names::kNetTimeoutWaitUs,
       names::kGossipDigestBytes,
       names::kGossipConvergenceRounds,
+      names::kSchedDirectiveLatencyUs,
   };
   return kList;
 }

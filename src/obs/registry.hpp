@@ -198,6 +198,17 @@ inline constexpr const char* kSchedDispatches = "sched.dispatches";
 inline constexpr const char* kSchedReports = "sched.reports";
 inline constexpr const char* kSchedMigrations = "sched.migrations";
 inline constexpr const char* kSchedPresumedDead = "sched.presumed_dead";
+// Batched directive API (DESIGN.md §13): report batches absorbed, duplicate
+// (hedged/retried) batches answered from the reply cache, units revoked by
+// directive, and frontier units pulled across shard mint rotation.
+inline constexpr const char* kSchedBatchReports = "sched.batch_reports";
+inline constexpr const char* kSchedBatchReplays = "sched.batch_replays";
+inline constexpr const char* kSchedUnitsRevoked = "sched.units_revoked";
+inline constexpr const char* kSchedShardSteals = "sched.shard_steals";
+inline constexpr const char* kSchedOutstandingUnits = "sched.outstanding_units";
+inline constexpr const char* kSchedFrontierUnits = "sched.frontier_units";
+inline constexpr const char* kSchedDirectiveLatencyUs =
+    "sched.directive_latency_us";
 inline constexpr const char* kForecastMethodSwitches =
     "forecast.method_switches";
 inline constexpr const char* kAppDroppedSamples = "app.metrics.dropped_samples";

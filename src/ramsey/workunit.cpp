@@ -2,8 +2,22 @@
 
 namespace ew::ramsey {
 
-Bytes WorkSpec::serialize() const {
-  Writer w;
+namespace {
+
+// Bounded blob read for the graph payloads: the length prefix is checked
+// against both the structural maximum and the bytes remaining before any
+// allocation happens (mirrors the gossip codec guards from DESIGN.md §12).
+Result<Bytes> read_graph_blob(Reader& r, const char* what) {
+  auto len = r.u32();
+  if (!len) return len.error();
+  if (*len > kMaxGraphBlob) return Error{Err::kProtocol, what};
+  if (*len > r.remaining()) return Error{Err::kProtocol, "truncated blob"};
+  return r.raw(static_cast<std::size_t>(*len));
+}
+
+}  // namespace
+
+void WorkSpec::write(Writer& w) const {
   w.u64(unit_id);
   w.u8(static_cast<std::uint8_t>(n));
   w.u8(static_cast<std::uint8_t>(k));
@@ -16,11 +30,9 @@ Bytes WorkSpec::serialize() const {
   } else {
     w.boolean(false);
   }
-  return w.take();
 }
 
-Result<WorkSpec> WorkSpec::deserialize(const Bytes& data) {
-  Reader r(data);
+Result<WorkSpec> WorkSpec::read(Reader& r) {
   WorkSpec s;
   auto id = r.u64();
   if (!id) return id.error();
@@ -46,7 +58,7 @@ Result<WorkSpec> WorkSpec::deserialize(const Bytes& data) {
   auto has_resume = r.boolean();
   if (!has_resume) return has_resume.error();
   if (*has_resume) {
-    auto blob = r.blob();
+    auto blob = read_graph_blob(r, "oversized resume graph");
     if (!blob) return blob.error();
     auto g = ColoredGraph::deserialize(*blob);
     if (!g) return g.error();
@@ -55,18 +67,26 @@ Result<WorkSpec> WorkSpec::deserialize(const Bytes& data) {
   return s;
 }
 
-Bytes WorkReport::serialize() const {
+Bytes WorkSpec::serialize() const {
   Writer w;
+  write(w);
+  return w.take();
+}
+
+Result<WorkSpec> WorkSpec::deserialize(const Bytes& data) {
+  Reader r(data);
+  return read(r);
+}
+
+void WorkReport::write(Writer& w) const {
   w.u64(unit_id);
   w.u64(ops_done);
   w.u64(best_energy);
   w.boolean(found);
   w.blob(best_graph);
-  return w.take();
 }
 
-Result<WorkReport> WorkReport::deserialize(const Bytes& data) {
-  Reader r(data);
+Result<WorkReport> WorkReport::read(Reader& r) {
   WorkReport rep;
   auto id = r.u64();
   if (!id) return id.error();
@@ -80,10 +100,21 @@ Result<WorkReport> WorkReport::deserialize(const Bytes& data) {
   auto found = r.boolean();
   if (!found) return found.error();
   rep.found = *found;
-  auto blob = r.blob();
+  auto blob = read_graph_blob(r, "oversized best graph");
   if (!blob) return blob.error();
   rep.best_graph = std::move(*blob);
   return rep;
+}
+
+Bytes WorkReport::serialize() const {
+  Writer w;
+  write(w);
+  return w.take();
+}
+
+Result<WorkReport> WorkReport::deserialize(const Bytes& data) {
+  Reader r(data);
+  return read(r);
 }
 
 }  // namespace ew::ramsey

@@ -18,6 +18,12 @@
 
 namespace ew::ramsey {
 
+/// Upper bound on the serialized-graph blobs carried inside WorkSpec.resume
+/// and WorkReport.best_graph. A ColoredGraph wire image is at most
+/// 1 + kMaxVertices * 8 bytes; anything larger is rejected before allocation
+/// so a hostile frame cannot make the decoder balloon.
+constexpr std::size_t kMaxGraphBlob = 1 + ColoredGraph::kMaxVertices * 8;
+
 /// A schedulable slice of the Ramsey search.
 struct WorkSpec {
   std::uint64_t unit_id = 0;
@@ -28,6 +34,12 @@ struct WorkSpec {
   std::uint64_t report_ops = 50'000'000;  // ops per progress report
   std::optional<ColoredGraph> resume;     // migrated in-progress coloring
 
+  /// Minimum wire footprint of one spec; batch decoders use it to bound
+  /// element counts against the bytes actually present.
+  static constexpr std::size_t kMinWire = 8 + 1 + 1 + 1 + 8 + 8 + 1;
+
+  void write(Writer& w) const;            // in-stream (batch) encoding
+  static Result<WorkSpec> read(Reader& r);
   [[nodiscard]] Bytes serialize() const;
   static Result<WorkSpec> deserialize(const Bytes& data);
 };
@@ -40,6 +52,10 @@ struct WorkReport {
   bool found = false;               // best graph is a counter-example
   Bytes best_graph;                 // serialized ColoredGraph (may be empty)
 
+  static constexpr std::size_t kMinWire = 8 + 8 + 8 + 1 + 4;
+
+  void write(Writer& w) const;            // in-stream (batch) encoding
+  static Result<WorkReport> read(Reader& r);
   [[nodiscard]] Bytes serialize() const;
   static Result<WorkReport> deserialize(const Bytes& data);
 };

@@ -38,9 +38,9 @@ class DirectivePolicyTest : public ::testing::Test {
     client_node_.call(sched_node_.self(), msgtype::kSchedRegister,
                       hello.serialize(), CallOptions::fixed(kSecond), [&](Result<Bytes> r) {
                         ASSERT_TRUE(r.ok());
-                        auto d = Directive::deserialize(*r);
-                        ASSERT_TRUE(d.ok() && d->spec);
-                        spec = *d->spec;
+                        auto d = DirectiveBatch::deserialize(*r);
+                        ASSERT_TRUE(d.ok() && !d->assign.empty());
+                        spec = d->assign.front();
                       });
     events_.run_for(5 * kSecond);
     EXPECT_TRUE(spec.has_value());

@@ -46,7 +46,10 @@ std::vector<std::pair<const char*, Decoder>> decoders() {
        [](const Bytes& b) { return core::ClientHello::deserialize(b).ok(); }},
       {"ReportEnvelope",
        [](const Bytes& b) { return core::ReportEnvelope::deserialize(b).ok(); }},
-      {"Directive", [](const Bytes& b) { return core::Directive::deserialize(b).ok(); }},
+      {"ReportBatch",
+       [](const Bytes& b) { return core::ReportBatch::deserialize(b).ok(); }},
+      {"DirectiveBatch",
+       [](const Bytes& b) { return core::DirectiveBatch::deserialize(b).ok(); }},
       {"LogRecord", [](const Bytes& b) { return core::LogRecord::deserialize(b).ok(); }},
       {"StoreRequest",
        [](const Bytes& b) { return core::StoreRequest::deserialize(b).ok(); }},
@@ -68,7 +71,7 @@ TEST(Fuzz, DecodersSurviveRandomBytes) {
       accepted += decode(junk) ? 1 : 0;  // must simply not crash
     }
     // Random bytes should almost never be a valid object for the structured
-    // formats (a tiny accept rate is fine: e.g. an empty Directive is 1 byte).
+    // formats (a tiny accept rate is fine for the smallest encodings).
     EXPECT_LT(accepted, 600) << name;
   }
 }
@@ -86,6 +89,21 @@ TEST(Fuzz, DecodersSurviveBitflippedValidEncodings) {
   core::ReportEnvelope env;
   env.client = Endpoint{"client", 2000};
   env.report.best_graph = ramsey::ColoredGraph::random(8, rng).serialize();
+  core::ReportBatch batch;
+  batch.client = Endpoint{"client", 2000};
+  batch.seq = 7;
+  batch.want_units = 3;
+  for (int i = 0; i < 3; ++i) {
+    ramsey::WorkReport rep;
+    rep.unit_id = static_cast<std::uint64_t>(i + 1);
+    rep.ops_done = 1000;
+    rep.best_energy = 40;
+    rep.best_graph = ramsey::ColoredGraph::random(8, rng).serialize();
+    batch.reports.push_back(std::move(rep));
+  }
+  core::DirectiveBatch dir;
+  dir.revoke = {9, 11};
+  dir.assign.push_back(spec);
 
   const std::vector<std::pair<Bytes, Decoder>> cases = {
       {spec.serialize(),
@@ -94,6 +112,10 @@ TEST(Fuzz, DecodersSurviveBitflippedValidEncodings) {
        [](const Bytes& b) { return gossip::Token::deserialize(b).ok(); }},
       {env.serialize(),
        [](const Bytes& b) { return core::ReportEnvelope::deserialize(b).ok(); }},
+      {batch.serialize(),
+       [](const Bytes& b) { return core::ReportBatch::deserialize(b).ok(); }},
+      {dir.serialize(),
+       [](const Bytes& b) { return core::DirectiveBatch::deserialize(b).ok(); }},
   };
   for (const auto& [wire, decode] : cases) {
     for (std::size_t pos = 0; pos < wire.size(); ++pos) {
@@ -108,6 +130,66 @@ TEST(Fuzz, DecodersSurviveBitflippedValidEncodings) {
       decode(Bytes(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len)));
     }
   }
+}
+
+TEST(Fuzz, SchedBatchDecodersRejectHugeCounts) {
+  // A hostile peer can claim an enormous element count in a tiny payload;
+  // the batch decoders must reject it up front instead of reserving memory
+  // for elements the stream cannot possibly contain.
+  {
+    Writer w;
+    core::write_sched_header(w, core::msgtype::kSchedDirectiveBatch);
+    w.u32(0xFFFF'FFFFu);  // revoke count far beyond the remaining bytes
+    EXPECT_FALSE(core::DirectiveBatch::deserialize(w.take()).ok());
+  }
+  {
+    Writer w;
+    core::write_sched_header(w, core::msgtype::kSchedDirectiveBatch);
+    w.u32(0);                               // no revokes
+    w.u32(core::kMaxSchedBatch + 1);        // assign count above the hard cap
+    EXPECT_FALSE(core::DirectiveBatch::deserialize(w.take()).ok());
+  }
+  {
+    Writer w;
+    core::write_sched_header(w, core::msgtype::kSchedReportBatch);
+    gossip::write_endpoint(w, Endpoint{"c", 1});
+    w.u64(1);            // seq
+    w.u32(1);            // want_units
+    w.u32(0xFFFF'FFFFu); // report count far beyond the remaining bytes
+    EXPECT_FALSE(core::ReportBatch::deserialize(w.take()).ok());
+  }
+}
+
+TEST(Fuzz, SchedEnvelopeRejectsBadVersionAndKind) {
+  // Future wire versions must be refused rather than misparsed...
+  {
+    Writer w;
+    w.u8(core::kSchedWireVersion + 1);
+    w.u16(static_cast<std::uint16_t>(core::msgtype::kSchedDirectiveBatch));
+    w.u32(0);
+    w.u32(0);
+    EXPECT_FALSE(core::DirectiveBatch::deserialize(w.take()).ok());
+  }
+  // ...and a message of one kind must not decode as another.
+  {
+    Writer w;
+    core::write_sched_header(w, core::msgtype::kSchedReportBatch);
+    w.u32(0);
+    w.u32(0);
+    EXPECT_FALSE(core::DirectiveBatch::deserialize(w.take()).ok());
+  }
+}
+
+TEST(Fuzz, WorkReportRejectsOversizedGraphBlob) {
+  // The best-graph blob length is bounded by the largest legal ColoredGraph
+  // image; a length field beyond that must be rejected before any copy.
+  Writer w;
+  w.u64(1);             // unit_id
+  w.u64(1000);          // ops_done
+  w.u64(40);            // best_energy
+  w.boolean(false);     // found
+  w.u32(1u << 24);      // blob length: 16 MiB of graph that is not there
+  EXPECT_FALSE(ramsey::WorkReport::deserialize(w.take()).ok());
 }
 
 TEST(Fuzz, FrameParserSurvivesRandomStreams) {

@@ -35,7 +35,8 @@ class SchedulerClientTest : public ::testing::Test {
     state_->start();
   }
 
-  SchedulerServer& add_scheduler(const std::string& host, int n, int k) {
+  SchedulerServer& add_scheduler(const std::string& host, int n, int k,
+                                 std::uint32_t pool_shards = 1) {
     auto node = std::make_unique<Node>(events_, transport_, Endpoint{host, 601});
     node->start();
     SchedulerServer::Options o;
@@ -43,6 +44,7 @@ class SchedulerClientTest : public ::testing::Test {
     o.state_manager = state_node_->self();
     o.pool.n = n;
     o.pool.k = k;
+    o.pool_shards = pool_shards;
     o.sweep_period = 20 * kSecond;
     o.migration_period = 30 * kSecond;
     auto server = std::make_unique<SchedulerServer>(*node, o);
@@ -54,7 +56,8 @@ class SchedulerClientTest : public ::testing::Test {
 
   /// A modeled client on `host` delivering `rate` ops/sec.
   RamseyClient& add_client(const std::string& host, double rate,
-                           std::vector<Endpoint> schedulers) {
+                           std::vector<Endpoint> schedulers,
+                           std::uint32_t units_per_client = 1) {
     auto node = std::make_unique<Node>(events_, transport_, Endpoint{host, 2000});
     node->start();
     RamseyClient::Options o;
@@ -68,6 +71,10 @@ class SchedulerClientTest : public ::testing::Test {
     o.initial_sleep_max = 5 * kSecond;
     o.retry_delay = 5 * kSecond;
     o.seed = std::hash<std::string>{}(host);
+    o.units_per_client = units_per_client;
+    if (units_per_client > 1) {
+      o.executor_factory = [] { return std::make_unique<ModeledWorkExecutor>(); };
+    }
     auto client = std::make_unique<RamseyClient>(
         *node, std::make_unique<ModeledWorkExecutor>(), o);
     client->start();
@@ -229,7 +236,7 @@ TEST_F(SchedulerClientTest, FrontierSurvivesSchedulerRestartViaCheckpoint) {
   add_client("c1", 1e7, {Endpoint{"sched", 601}});
   add_client("c2", 1e7, {Endpoint{"sched", 601}});
   events_.run_for(20 * kMinute);  // several reports + checkpoints
-  ASSERT_TRUE(state_->fetch("sched/frontier/sched:601").has_value());
+  ASSERT_TRUE(state_->fetch("sched/frontier/sched:601/shard-0").has_value());
 
   // Hard restart: a brand-new scheduler object on the same endpoint.
   schedulers_[0]->stop();
@@ -248,6 +255,130 @@ TEST_F(SchedulerClientTest, FrontierSurvivesSchedulerRestartViaCheckpoint) {
   // Re-registering clients get resumed units, not fresh ones.
   events_.run_for(15 * kMinute);
   EXPECT_EQ(schedulers_[0]->active_clients(), 2u);
+}
+
+TEST_F(SchedulerClientTest, MultiUnitLeaseReportedInBatches) {
+  // A client with units_per_client=8 holds a lease of eight units, reports
+  // all of them in one kSchedReportBatch per quantum, and the sharded pool
+  // spreads the mints across its range-shards.
+  auto& sched = add_scheduler("sched", 42, 5, /*pool_shards=*/4);
+  auto& client = add_client("c1", 1e7, {Endpoint{"sched", 601}}, /*units=*/8);
+  events_.run_for(5 * kMinute);
+  EXPECT_EQ(sched.active_clients(), 1u);
+  EXPECT_EQ(client.units_held(), 8u);
+  EXPECT_EQ(sched.pool().assigned_count(), 8u);
+  EXPECT_GT(sched.report_batches_received(), 3u);
+  // Every batch covers the whole lease.
+  EXPECT_EQ(sched.reports_received(), sched.report_batches_received() * 8);
+  // Round-robin minting touched every shard.
+  ASSERT_EQ(sched.pool().shard_count(), 4u);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(sched.pool().shard(k).units_issued(), 2u) << "shard " << k;
+  }
+}
+
+TEST_F(SchedulerClientTest, PerUnitShimAndBatchOfOneBitIdenticalPoolState) {
+  // The deprecated per-unit kSchedReport path is a batch-of-1 shim: driving
+  // two identically-configured schedulers, one via ReportEnvelope and one
+  // via ReportBatch{1 report}, must leave bit-identical pool state.
+  auto& a = add_scheduler("schedA", 20, 4);
+  auto& b = add_scheduler("schedB", 20, 4);
+  auto fake = std::make_unique<Node>(events_, transport_, Endpoint{"fake", 2100});
+  fake->start();
+
+  const Endpoint worker{"worker", 2000};
+  std::optional<ramsey::WorkSpec> spec_a, spec_b;
+  auto do_register = [&](const Endpoint& sched, std::optional<ramsey::WorkSpec>* out) {
+    ClientHello hello;
+    hello.client = worker;
+    hello.infra = Infra::kUnix;
+    hello.host = "worker";
+    hello.want_units = 1;
+    fake->call(sched, msgtype::kSchedRegister, hello.serialize(),
+               CallOptions::fixed(kSecond), [out](Result<Bytes> r) {
+                 ASSERT_TRUE(r.ok());
+                 auto d = DirectiveBatch::deserialize(*r);
+                 ASSERT_TRUE(d.ok() && !d->assign.empty());
+                 *out = d->assign.front();
+               });
+    events_.run_for(5 * kSecond);
+  };
+  do_register(Endpoint{"schedA", 601}, &spec_a);
+  do_register(Endpoint{"schedB", 601}, &spec_b);
+  ASSERT_TRUE(spec_a && spec_b);
+  ASSERT_EQ(spec_a->unit_id, spec_b->unit_id);
+
+  ramsey::WorkReport rep;
+  rep.unit_id = spec_a->unit_id;
+  rep.ops_done = 500'000'000;
+  rep.best_energy = 88;
+  Rng rng(7);
+  rep.best_graph = ramsey::ColoredGraph::random(20, rng).serialize();
+
+  ReportEnvelope env;  // legacy per-unit path, scheduler A
+  env.client = worker;
+  env.report = rep;
+  fake->call(Endpoint{"schedA", 601}, msgtype::kSchedReport, env.serialize(),
+             CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  ReportBatch batch;  // batch-of-1, scheduler B
+  batch.client = worker;
+  batch.seq = 1;
+  batch.want_units = 1;
+  batch.reports.push_back(rep);
+  fake->call(Endpoint{"schedB", 601}, msgtype::kSchedReportBatch,
+             batch.serialize(), CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  events_.run_for(5 * kSecond);
+  EXPECT_EQ(a.reports_received(), 1u);
+  EXPECT_EQ(b.reports_received(), 1u);
+
+  // Silence: both sweeps presume the worker dead and reclaim the unit into
+  // the idle frontier, where the exported image captures the full state.
+  events_.run_for(10 * kMinute);
+  EXPECT_EQ(a.pool().assigned_count(), 0u);
+  EXPECT_EQ(b.pool().assigned_count(), 0u);
+  EXPECT_EQ(a.pool().shard(0).export_frontier(),
+            b.pool().shard(0).export_frontier());
+  EXPECT_EQ(a.pool().units_issued(), b.pool().units_issued());
+}
+
+TEST_F(SchedulerClientTest, ShardedRestartReplaysPerShardWithoutDoubleIssue) {
+  // Per-shard checkpoints: a restarted 2-shard scheduler re-imports each
+  // shard from its own record, every unit lands back in its residue class,
+  // and re-registered clients never see the same unit twice.
+  add_scheduler("sched", 42, 5, /*pool_shards=*/2);
+  add_client("c1", 1e7, {Endpoint{"sched", 601}}, /*units=*/4);
+  add_client("c2", 1e7, {Endpoint{"sched", 601}}, /*units=*/4);
+  events_.run_for(20 * kMinute);
+  ASSERT_TRUE(state_->fetch("sched/frontier/sched:601/shard-0").has_value());
+  ASSERT_TRUE(state_->fetch("sched/frontier/sched:601/shard-1").has_value());
+
+  schedulers_[0]->stop();
+  sched_nodes_[0]->stop();
+  sched_nodes_[0] = std::make_unique<Node>(events_, transport_, Endpoint{"sched", 601});
+  sched_nodes_[0]->start();
+  SchedulerServer::Options o;
+  o.logging = log_node_->self();
+  o.state_manager = state_node_->self();
+  o.pool.n = 42;
+  o.pool.k = 5;
+  o.pool_shards = 2;
+  schedulers_[0] = std::make_unique<SchedulerServer>(*sched_nodes_[0], o);
+  schedulers_[0]->start();
+  events_.run_for(5 * kMinute);
+  EXPECT_GE(schedulers_[0]->frontier_units_restored(), 2u);
+
+  // Clients fail their next report and re-register; both leases refill.
+  events_.run_for(15 * kMinute);
+  const auto& pool = schedulers_[0]->pool();
+  EXPECT_EQ(schedulers_[0]->active_clients(), 2u);
+  EXPECT_EQ(pool.assigned_count(), 8u);
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    const auto ids = pool.shard(k).assigned_units();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ((ids[i] - 1) % 2, k) << "unit outside its shard's range";
+      if (i > 0) EXPECT_NE(ids[i], ids[i - 1]) << "double-issued unit";
+    }
+  }
 }
 
 TEST_F(SchedulerClientTest, ThunderingHerdSpreadBySleep) {

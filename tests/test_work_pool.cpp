@@ -188,5 +188,93 @@ TEST(WorkPool, SpecSeedsDifferPerUnit) {
   EXPECT_NE(a.seed, b.seed);
 }
 
+TEST(WorkPool, StridedPoolMintsOnlyItsResidueClass) {
+  WorkPool::Options o = small_pool();
+  o.first_id = 2;
+  o.id_stride = 3;
+  WorkPool pool(o);
+  for (int i = 0; i < 5; ++i) {
+    const auto spec = pool.acquire();
+    EXPECT_EQ((spec.unit_id - 2) % 3, 0u);
+    EXPECT_TRUE(pool.owns(spec.unit_id));
+  }
+  EXPECT_EQ(pool.units_issued(), 5u);
+  EXPECT_FALSE(pool.owns(1));
+  EXPECT_FALSE(pool.owns(3));
+  EXPECT_TRUE(pool.owns(2));
+  EXPECT_TRUE(pool.owns(5));
+}
+
+TEST(WorkPool, ImportFiltersForeignIds) {
+  // A shard only replays its own id range from a checkpoint: units outside
+  // the residue class are someone else's and must be skipped.
+  WorkPool donor(small_pool());  // stride 1: mints ids 1, 2, 3, ...
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(donor.acquire().unit_id);
+  for (auto id : ids) donor.report(report_for(id, 20 + id));
+  const Bytes checkpoint = donor.export_frontier();
+
+  WorkPool::Options o = small_pool();
+  o.first_id = 1;
+  o.id_stride = 2;  // owns 1, 3, 5, ...
+  WorkPool shard(o);
+  EXPECT_EQ(shard.import_frontier(checkpoint), 2u);  // only ids 1 and 3
+  EXPECT_EQ(shard.idle_frontier_size(), 2u);
+  EXPECT_TRUE(shard.acquire_unit(1).has_value());
+  EXPECT_TRUE(shard.acquire_unit(3).has_value());
+  EXPECT_FALSE(shard.acquire_unit(2).has_value());
+}
+
+TEST(WorkPool, BatchAndSingleCallsLeaveIdenticalState) {
+  // report_many/release_many are the span form of report/release: feeding
+  // the same sequence through either path must leave bit-identical state.
+  WorkPool single(small_pool());
+  WorkPool batch(small_pool());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto a = single.acquire();
+    const auto b = batch.acquire();
+    ASSERT_EQ(a.unit_id, b.unit_id);
+    ids.push_back(a.unit_id);
+  }
+  std::vector<ramsey::WorkReport> reps;
+  for (auto id : ids) reps.push_back(report_for(id, 90 - 7 * id));
+  for (const auto& rep : reps) single.report(rep);
+  batch.report_many(reps);
+  for (auto id : ids) single.release(id);
+  batch.release_many(ids);
+  EXPECT_EQ(single.export_frontier(), batch.export_frontier());
+  EXPECT_EQ(single.idle_frontier_size(), batch.idle_frontier_size());
+  EXPECT_EQ(single.assigned_count(), batch.assigned_count());
+  EXPECT_EQ(single.units_issued(), batch.units_issued());
+}
+
+TEST(WorkPool, ReleaseManyRespectsFrontierCap) {
+  WorkPool pool(small_pool());  // cap 4
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(pool.acquire().unit_id);
+  std::vector<ramsey::WorkReport> reps;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    reps.push_back(report_for(ids[i], 100 - i));
+  }
+  pool.report_many(reps);
+  pool.release_many(ids);
+  EXPECT_LE(pool.idle_frontier_size(), 4u);
+  EXPECT_EQ(pool.acquire().unit_id, ids.back());  // best survivor first
+}
+
+TEST(WorkPool, DirtyFlagTracksCheckpointableChanges) {
+  WorkPool pool(small_pool());
+  EXPECT_FALSE(pool.dirty());
+  const auto spec = pool.acquire();
+  EXPECT_FALSE(pool.dirty());  // nothing worth checkpointing yet
+  pool.report(report_for(spec.unit_id, 15));
+  EXPECT_TRUE(pool.dirty());
+  pool.clear_dirty();
+  EXPECT_FALSE(pool.dirty());
+  pool.release(spec.unit_id);
+  EXPECT_TRUE(pool.dirty());
+}
+
 }  // namespace
 }  // namespace ew::core
