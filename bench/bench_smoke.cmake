@@ -57,3 +57,12 @@ execute_process(COMMAND ${SCHED_SCALE} --quick RESULT_VARIABLE rc_sched)
 if(NOT rc_sched EQUAL 0)
   message(FATAL_ERROR "sched_scale --quick failed (exit ${rc_sched})")
 endif()
+
+# Model-checker gate: bounded exhaustive exploration of the protocol
+# fixtures. Non-zero exit means an invariant violation on some interleaving,
+# a blown branch cap, a reduction ratio under 5x, or the seeded no-dedupe
+# bug escaping (not caught, over-long repro, or nondeterministic replay).
+execute_process(COMMAND ${MC_EXPLORE} --quick RESULT_VARIABLE rc_mc)
+if(NOT rc_mc EQUAL 0)
+  message(FATAL_ERROR "mc_explore --quick failed (exit ${rc_mc})")
+endif()

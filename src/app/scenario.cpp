@@ -362,7 +362,6 @@ void Sc98Scenario::build_adapters() {
       profile_for(core::Infra::kLegion), infra::LegionAdapter::Config{});
   legion_ = legion.get();
   legion->translator().forward(core::msgtype::kSchedRegister, scheduler_endpoints());
-  legion->translator().forward(core::msgtype::kSchedReport, scheduler_endpoints());
   legion->translator().forward(core::msgtype::kSchedReportBatch,
                                scheduler_endpoints());
   legion->start(

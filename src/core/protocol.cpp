@@ -85,28 +85,6 @@ Result<ClientHello> ClientHello::deserialize(const Bytes& data) {
   return h;
 }
 
-Bytes ReportEnvelope::serialize() const {
-  Writer w;
-  write_sched_header(w, msgtype::kSchedReport);
-  gossip::write_endpoint(w, client);
-  report.write(w);
-  return w.take();
-}
-
-Result<ReportEnvelope> ReportEnvelope::deserialize(const Bytes& data) {
-  Reader r(data);
-  auto hdr = read_sched_header(r, msgtype::kSchedReport);
-  if (!hdr) return hdr.error();
-  ReportEnvelope env;
-  auto ep = gossip::read_endpoint(r);
-  if (!ep) return ep.error();
-  env.client = std::move(*ep);
-  auto rep = ramsey::WorkReport::read(r);
-  if (!rep) return rep.error();
-  env.report = std::move(*rep);
-  return env;
-}
-
 Bytes ReportBatch::serialize() const {
   Writer w;
   write_sched_header(w, msgtype::kSchedReportBatch);

@@ -23,8 +23,10 @@ namespace msgtype {
 // Scheduler. All four request payloads open with the shared versioned
 // envelope (u8 version, u16 kind); every reply is a DirectiveBatch.
 constexpr MsgType kSchedRegister = 0x0201;  // client hello -> directive batch
-// DEPRECATED (this PR only): single-report shim, routed through the batch
-// handler as a batch of one. New clients send kSchedReportBatch.
+// RETIRED: 0x0202 was the per-unit kSchedReport shim (batch-of-1 routing).
+// The constant is kept so the id is never reassigned; the scheduler no
+// longer registers a handler, so frames sent at it are rejected as
+// unhandled. Clients send kSchedReportBatch.
 constexpr MsgType kSchedReport = 0x0202;
 constexpr MsgType kSchedReportBatch = 0x0203;     // many reports -> directives
 constexpr MsgType kSchedDirectiveBatch = 0x0204;  // reply envelope kind
@@ -95,24 +97,14 @@ struct ClientHello {
   static Result<ClientHello> deserialize(const Bytes& data);
 };
 
-/// DEPRECATED (one-PR shim): single progress report wrapper. Carries the
-/// reporting client's own contact address because the transport-level sender
-/// may be an intermediary (the Legion translator object forwards its
-/// components' reports, Section 5.3). The scheduler routes it through the
-/// batch handler as a ReportBatch of one.
-struct ReportEnvelope {
-  Endpoint client;
-  ramsey::WorkReport report;
-
-  [[nodiscard]] Bytes serialize() const;
-  static Result<ReportEnvelope> deserialize(const Bytes& data);
-};
-
 /// Batched progress reports: one hedged call carries every unit the client
-/// touched this quantum. `seq` is a per-client monotone sequence number; the
-/// scheduler caches the last reply per client and replays it on a duplicate
-/// seq, which makes the batch safe to retry and hedge (the pool mutations
-/// are applied exactly once). seq 0 opts out (legacy shim path).
+/// touched this quantum. Carries the reporting client's own contact address
+/// because the transport-level sender may be an intermediary (the Legion
+/// translator object forwards its components' reports, Section 5.3). `seq`
+/// is a per-client monotone sequence number; the scheduler caches the last
+/// reply per client and replays it on a duplicate seq, which makes the
+/// batch safe to retry and hedge (the pool mutations are applied exactly
+/// once). seq 0 opts out of the dedupe cache.
 struct ReportBatch {
   Endpoint client;
   std::uint64_t seq = 0;

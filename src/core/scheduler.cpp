@@ -32,8 +32,6 @@ void SchedulerServer::start() {
       [this](std::uint64_t unit_id) { return choose_kind(unit_id); });
   node_.handle(msgtype::kSchedRegister,
                [this](const IncomingMessage& m, Responder r) { on_register(m, r); });
-  node_.handle(msgtype::kSchedReport,
-               [this](const IncomingMessage& m, Responder r) { on_report(m, r); });
   node_.handle(msgtype::kSchedReportBatch,
                [this](const IncomingMessage& m, Responder r) { on_report_batch(m, r); });
   sweep_timer_ = node_.executor().schedule(opts_.sweep_period, [this] { sweep_tick(); });
@@ -182,24 +180,6 @@ void SchedulerServer::on_register(const IncomingMessage& msg, const Responder& r
   clients_[info.hello.client] = std::move(info);
   update_pool_gauges();
   resp.ok(d.serialize());
-}
-
-void SchedulerServer::on_report(const IncomingMessage& msg, const Responder& resp) {
-  // DEPRECATED per-unit shim: wrap the single report as a batch of one and
-  // run it through the batch core (seq 0 = no reply-cache dedupe, matching
-  // the old path's no-retry call policy).
-  auto env = ReportEnvelope::deserialize(msg.packet.payload);
-  if (!env) {
-    resp.fail(Err::kProtocol, env.error().message);
-    return;
-  }
-  ReportBatch batch;
-  batch.client = std::move(env->client);
-  batch.seq = 0;
-  auto it = clients_.find(batch.client);
-  batch.want_units = it != clients_.end() ? it->second.want : 1;
-  batch.reports.push_back(std::move(env->report));
-  handle_report_batch(std::move(batch), resp);
 }
 
 void SchedulerServer::on_report_batch(const IncomingMessage& msg,

@@ -23,8 +23,9 @@
 // mutation running twice. The work pool behind the scheduler is range-
 // sharded (ShardedWorkPool) and checkpointed per shard, so restart recovery
 // re-imports only the shards that changed — each into exactly its own id
-// range. The old per-unit kSchedRegister/kSchedReport messages remain as a
-// one-PR deprecation shim routed through the batch handler as a batch of 1.
+// range. The old per-unit kSchedReport message is retired: no handler is
+// registered for it, so stale clients get an unhandled-type rejection and
+// must upgrade to the batch wire.
 #pragma once
 
 #include <array>
@@ -111,7 +112,6 @@ class SchedulerServer {
   };
 
   void on_register(const IncomingMessage& msg, const Responder& resp);
-  void on_report(const IncomingMessage& msg, const Responder& resp);
   void on_report_batch(const IncomingMessage& msg, const Responder& resp);
   /// Shared core for both report paths (the per-unit shim passes a batch of
   /// one with seq 0): absorbs the reports, applies forecasters/policy, and

@@ -171,6 +171,24 @@ void CliqueMember::loss_check() {
 }
 
 void CliqueMember::start_token_round() {
+  if (gen_floor_ >= view_.generation && round_ > completed_round_ + 1) {
+    // A merge handed us a fragment whose generation outranks our view, and
+    // our rounds are dying: members inside that fragment drop our tokens as
+    // stale, so complete_round (where the floor is normally folded in)
+    // never fires. Re-mint the view above the floor before circulating; the
+    // fragment adopts it and the ring resumes. Gated on two consecutive
+    // dead rounds so a healthy merge (whose floor is folded in by the very
+    // next complete_round) never churns the view from here.
+    // (Found by the model checker: a startup race where g1 forms {g1,g2},
+    // fragments past our generation when g2 dies, and then wedges the
+    // leader's ring forever. See DESIGN.md §14.)
+    View v;
+    v.generation = std::max(view_.generation, gen_floor_) + 1;
+    v.leader = node_.self();
+    v.members = view_.members;
+    gen_floor_ = 0;
+    install_view(std::move(v));
+  }
   ++round_;
   obs::registry().counter(obs::names::kCliqueRounds).inc();
   EW_DEBUG << node_.self().to_string() << ": token round " << round_ << " gen "
@@ -296,6 +314,7 @@ void CliqueMember::on_token(const IncomingMessage& msg, const Responder& resp) {
 }
 
 void CliqueMember::complete_round(const Token& token) {
+  completed_round_ = token.round;
   std::set<Endpoint> members(view_.members.begin(), view_.members.end());
   bool changed = false;
   for (const auto& s : token.suspects) {

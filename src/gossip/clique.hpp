@@ -98,6 +98,7 @@ class CliqueMember {
   Options opts_;
   View view_;
   std::uint64_t round_ = 0;
+  std::uint64_t completed_round_ = 0;  // last round whose token came home
   std::vector<Endpoint> pending_joins_;
   std::uint64_t gen_floor_ = 0;  // merged-in cliques' generation high-water
   std::size_t probe_index_ = 0;

@@ -365,15 +365,20 @@ void GossipServer::poll_component(const Endpoint& component,
                         obs::trace().intern(component.to_string()),
                         static_cast<std::int64_t>(types.size()));
   }
-  // One batched poll per component instead of one call per type. Polls are
+  // One batched poll per component instead of one call per type, carrying
+  // our stored (version, checksum) per type so an unchanged component can
+  // answer "fresh" without shipping content (the digest cache). Polls are
   // read-only: retry freely, and hedge once the tag has RTT history so one
   // slow component doesn't stall the whole poll round.
+  PollRequest req;
+  req.held.reserve(types.size());
+  for (MsgType type : types) req.held.push_back(store_.summary_of(type));
   CallOptions poll;
   poll.retry = RetryPolicy::standard(2);
   poll.hedge = HedgePolicy::at(0.95);
   poll.trace_tag = "gossip.poll";
   node_.call(
-      component, msgtype::kGetStateBatch, serialize_type_list(types),
+      component, msgtype::kGetStateBatch, req.serialize(),
       std::move(poll), [this, component](Result<Bytes> r) {
         if (!running_) return;
         auto it = registry_.find(component);
@@ -386,9 +391,12 @@ void GossipServer::poll_component(const Endpoint& component,
           return;
         }
         if (it != registry_.end()) it->second.misses = 0;
-        auto blobs = deserialize_blob_list(*r);
-        if (!blobs) return;
-        for (const auto& theirs : *blobs) {
+        auto reply = PollReply::deserialize(*r);
+        if (!reply) return;
+        // A fresh reply proved every exposed type matched: nothing to
+        // absorb, nothing to push back.
+        if (reply->fresh) return;
+        for (const auto& theirs : reply->blobs) {
           if (absorb(theirs) != MergeOutcome::kStale) continue;
           // The component is out of date: push our fresher copy ("the
           // Gossip sends a fresh state update to the application component

@@ -276,6 +276,52 @@ Result<std::vector<StateBlob>> deserialize_blob_list(const Bytes& data) {
   return out;
 }
 
+Bytes PollRequest::serialize() const {
+  Writer w(4 + held.size() * 18);
+  w.u32(static_cast<std::uint32_t>(held.size()));
+  for (const auto& s : held) write_type_summary(w, s);
+  return w.take();
+}
+
+Result<PollRequest> PollRequest::deserialize(const Bytes& data) {
+  Reader r(data);
+  auto n = read_count(r, 18, "poll request");
+  if (!n) return n.error();
+  PollRequest req;
+  req.held.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto s = read_type_summary(r);
+    if (!s) return s.error();
+    req.held.push_back(*s);
+  }
+  return req;
+}
+
+Bytes PollReply::serialize() const {
+  Writer w;
+  w.u8(fresh ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(blobs.size()));
+  for (const auto& b : blobs) write_state_blob(w, b);
+  return w.take();
+}
+
+Result<PollReply> PollReply::deserialize(const Bytes& data) {
+  Reader r(data);
+  auto flag = r.u8();
+  if (!flag) return flag.error();
+  auto n = read_count(r, 6, "poll reply");
+  if (!n) return n.error();
+  PollReply rep;
+  rep.fresh = *flag != 0;
+  rep.blobs.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto b = read_state_blob(r);
+    if (!b) return b.error();
+    rep.blobs.push_back(std::move(*b));
+  }
+  return rep;
+}
+
 bool View::contains(const Endpoint& e) const {
   return std::binary_search(members.begin(), members.end(), e);
 }

@@ -135,11 +135,35 @@ struct ParentDigest {
   static Result<ParentDigest> deserialize(const Bytes& data);
 };
 
-/// kGetStateBatch request/response bodies: a type list out, a blob list back.
+/// Raw list codecs shared by the poll bodies below (and handy in tests).
 Bytes serialize_type_list(const std::vector<MsgType>& types);
 Result<std::vector<MsgType>> deserialize_type_list(const Bytes& data);
 Bytes serialize_blob_list(const std::vector<StateBlob>& blobs);
 Result<std::vector<StateBlob>> deserialize_blob_list(const Bytes& data);
+
+/// kGetStateBatch request: one summary line per polled type carrying the
+/// polling gossip's own stored copy's (version, checksum) — zeros when it
+/// holds nothing yet. The component compares against its current state and
+/// ships content only for types that differ, so steady-state polls cost
+/// summary bytes, not state bytes (the component-side digest cache).
+struct PollRequest {
+  std::vector<TypeSummary> held;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<PollRequest> deserialize(const Bytes& data);
+};
+
+/// kGetStateBatch reply. `fresh` is set exactly when every requested type
+/// the component exposes already matched the gossip's summary (a cache hit,
+/// counted in `gossip.poll.cache_hits`); `blobs` carries only the types
+/// whose content differed.
+struct PollReply {
+  bool fresh = false;
+  std::vector<StateBlob> blobs;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<PollReply> deserialize(const Bytes& data);
+};
 
 /// A clique view: generation, leader, sorted member list.
 struct View {

@@ -6,12 +6,10 @@
 
 namespace ew::gossip {
 
-namespace {
 std::uint64_t content_checksum(const Bytes& content) {
   return fnv1a64(std::string_view(reinterpret_cast<const char*>(content.data()),
                                   content.size()));
 }
-}  // namespace
 
 int compare_by_version_prefix(const Bytes& a, const Bytes& b) {
   const auto va = blob_version(a);
@@ -111,6 +109,12 @@ std::vector<TypeSummary> StateStore::summary() const {
     out.push_back(TypeSummary{type, entry.version, entry.checksum});
   }
   return out;
+}
+
+TypeSummary StateStore::summary_of(MsgType type) const {
+  auto it = map_.find(type);
+  if (it == map_.end()) return TypeSummary{type, 0, 0};
+  return TypeSummary{type, it->second.version, it->second.checksum};
 }
 
 std::vector<StateBlob> StateStore::blobs_fresher_than(

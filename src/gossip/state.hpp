@@ -34,6 +34,11 @@ using FreshnessFn = std::function<int(const Bytes& a, const Bytes& b)>;
 /// Compare by leading u64 version stamp; unparseable content is stalest.
 int compare_by_version_prefix(const Bytes& a, const Bytes& b);
 
+/// The checksum the store tracks per type: 64-bit FNV-1a over the full
+/// content. Components reuse it to answer digest-carrying polls (PollRequest)
+/// without the store.
+std::uint64_t content_checksum(const Bytes& content);
+
 /// Convenience for state types that use the version-prefix convention.
 Bytes versioned_blob(std::uint64_t version, const Bytes& body);
 Result<std::uint64_t> blob_version(const Bytes& blob);
@@ -82,6 +87,10 @@ class StateStore {
   /// One summary line per stored type, sorted by type (deterministic wire
   /// encoding for replayable sims).
   [[nodiscard]] std::vector<TypeSummary> summary() const;
+
+  /// The summary line for one type; (type, 0, 0) when nothing is stored —
+  /// exactly the shape a digest-carrying poll (PollRequest) wants.
+  [[nodiscard]] TypeSummary summary_of(MsgType type) const;
 
   /// Blobs a peer holding `peer` summaries is provably stale on: types the
   /// peer lacks, types where our version is ahead, and comparator-tie

@@ -1,6 +1,7 @@
 #include "gossip/sync_client.hpp"
 
 #include "common/log.hpp"
+#include "obs/registry.hpp"
 
 namespace ew::gossip {
 
@@ -94,22 +95,34 @@ void SyncClient::on_get_state(const IncomingMessage& msg, const Responder& resp)
 
 void SyncClient::on_get_state_batch(const IncomingMessage& msg,
                                     const Responder& resp) {
-  auto types = deserialize_type_list(msg.packet.payload);
-  if (!types) {
-    resp.fail(Err::kProtocol, types.error().message);
+  auto req = PollRequest::deserialize(msg.packet.payload);
+  if (!req) {
+    resp.fail(Err::kProtocol, req.error().message);
     return;
   }
   // One response for the whole poll. Types we don't expose are skipped, not
   // failed: a gossip's registry can briefly trail a re-registration, and a
-  // partial answer still advances anti-entropy.
-  std::vector<StateBlob> blobs;
-  blobs.reserve(types->size());
-  for (MsgType type : *types) {
-    auto it = handlers_.find(type);
+  // partial answer still advances anti-entropy. Types whose content still
+  // checksums to what the gossip already holds are elided — the digest
+  // cache that keeps steady-state polls at summary size.
+  PollReply reply;
+  std::size_t exposed = 0;
+  for (const TypeSummary& held : req->held) {
+    auto it = handlers_.find(held.type);
     if (it == handlers_.end() || !it->second.provider) continue;
-    blobs.push_back(StateBlob{type, it->second.provider()});
+    ++exposed;
+    Bytes current = it->second.provider();
+    if (held.checksum != 0 && held.checksum == content_checksum(current)) {
+      continue;  // the gossip's copy is byte-identical; nothing to ship
+    }
+    reply.blobs.push_back(StateBlob{held.type, std::move(current)});
   }
-  resp.ok(serialize_blob_list(blobs));
+  reply.fresh = exposed > 0 && reply.blobs.empty();
+  if (reply.fresh) {
+    ++poll_cache_hits_;
+    obs::registry().counter(obs::names::kGossipPollCacheHits).inc();
+  }
+  resp.ok(reply.serialize());
 }
 
 void SyncClient::on_state_update(const IncomingMessage& msg, const Responder& resp) {

@@ -51,6 +51,9 @@ class SyncClient {
   /// The gossip we most recently registered with successfully.
   [[nodiscard]] const Endpoint& current_gossip() const { return current_gossip_; }
   [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
+  /// Polls answered "fresh" with no content because every exposed type
+  /// already matched the gossip's digest (also `gossip.poll.cache_hits`).
+  [[nodiscard]] std::uint64_t poll_cache_hits() const { return poll_cache_hits_; }
 
  private:
   void register_with(std::size_t index);
@@ -68,6 +71,7 @@ class SyncClient {
   bool registered_ = false;
   Endpoint current_gossip_;
   std::uint64_t updates_applied_ = 0;
+  std::uint64_t poll_cache_hits_ = 0;
   TimerId renew_timer_ = kInvalidTimer;
 };
 

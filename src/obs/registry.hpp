@@ -180,6 +180,7 @@ inline constexpr const char* kNetCallLatencyUs = "net.call.latency_us";
 inline constexpr const char* kNetTimeoutWaitUs = "net.timeout.wait_us";
 inline constexpr const char* kGossipSyncRounds = "gossip.sync_rounds";
 inline constexpr const char* kGossipPolls = "gossip.polls";
+inline constexpr const char* kGossipPollCacheHits = "gossip.poll.cache_hits";
 inline constexpr const char* kGossipUpdatesPushed = "gossip.updates_pushed";
 inline constexpr const char* kGossipStatesAbsorbed = "gossip.states_absorbed";
 inline constexpr const char* kGossipDeltaBlobs = "gossip.delta_blobs";

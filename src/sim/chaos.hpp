@@ -99,6 +99,15 @@ class ChaosEngine {
   /// events already in the past fire immediately). Call once per plan.
   void arm(FaultPlan plan);
 
+  /// Apply one fault right now, bypassing the queue. The model checker's
+  /// fault-placement choices use this: the Explorer decides *between* events
+  /// whether a fault fires, so the fault must not itself be an event.
+  /// Liveness tracking is identical to an armed plan (double-crash no-op,
+  /// restart only on a dead process) and the same kChaosFault span is
+  /// recorded, so the invariant checker sees scripted and explored faults
+  /// the same way.
+  void inject(const FaultEvent& ev) { apply(ev); }
+
   [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
   [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
   [[nodiscard]] std::uint64_t restarts() const { return restarts_; }

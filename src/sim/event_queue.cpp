@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ew::sim {
 
@@ -8,7 +9,7 @@ TimerId EventQueue::schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
   const TimerId id = next_timer_++;
   const Key key{clock_.now() + delay, next_seq_++};
-  events_.emplace(key, Entry{id, std::move(fn)});
+  events_.emplace(key, Entry{id, schedule_label_, std::move(fn)});
   timer_key_.emplace(id, key);
   return id;
 }
@@ -20,13 +21,47 @@ void EventQueue::cancel(TimerId id) {
   timer_key_.erase(it);
 }
 
-bool EventQueue::step() {
-  if (events_.empty()) return false;
-  auto node = events_.extract(events_.begin());
+void EventQueue::fire(std::map<Key, Entry>::iterator it) {
+  auto node = events_.extract(it);
+  // Erase the timer mapping before the closure runs: cancel() of the firing
+  // event from inside its own closure must be a no-op, not a map corruption.
   timer_key_.erase(node.mapped().id);
   clock_.set(node.key().at);
   ++executed_;
+  // Label inheritance: everything the closure schedules belongs to the same
+  // host the firing event acted on (unless a nested LabelScope overrides).
+  std::string prev = std::move(schedule_label_);
+  schedule_label_ = std::move(node.mapped().label);
   node.mapped().fn();
+  schedule_label_ = std::move(prev);
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  fire(events_.begin());
+  return true;
+}
+
+std::vector<EventQueue::EligibleEvent> EventQueue::eligible() const {
+  std::vector<EligibleEvent> out;
+  if (events_.empty()) return out;
+  const TimePoint at = events_.begin()->first.at;
+  for (auto it = events_.begin(); it != events_.end() && it->first.at == at;
+       ++it) {
+    out.push_back({it->second.id, it->first.seq, at, it->second.label});
+  }
+  return out;
+}
+
+bool EventQueue::step_event(TimerId id) {
+  auto tk = timer_key_.find(id);
+  if (tk == timer_key_.end()) return false;
+  if (events_.empty() || tk->second.at != events_.begin()->first.at) {
+    return false;  // not at the earliest pending timestamp: not eligible
+  }
+  auto it = events_.find(tk->second);
+  if (it == events_.end()) return false;
+  fire(it);
   return true;
 }
 

@@ -6,10 +6,21 @@
 // importantly, makes every experiment exactly reproducible from a seed.
 // Events at equal times fire in scheduling order (a strictly increasing
 // sequence number breaks ties), so runs are platform-independent.
+//
+// Choice points (src/sim/mc): events carry an optional label (the host the
+// event acts on), `eligible()` exposes every event at the earliest pending
+// timestamp, and `step_event()` fires a chosen one instead of the FIFO
+// head. Labels are inherited — work scheduled while an event runs gets the
+// running event's label — so a packet-delivery closure labelled with the
+// destination host labels everything the handler schedules in turn. The
+// default step()/run_until() path is unchanged: FIFO order, bit-identical
+// with pre-choice-point builds.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "net/executor.hpp"
@@ -38,6 +49,44 @@ class EventQueue final : public Executor {
   /// Execute the single next event (if any). Returns false when idle.
   bool step();
 
+  // ---- Choice-point API (model checker; see src/sim/mc) -----------------
+
+  /// One event eligible to fire now: pending at the earliest timestamp.
+  struct EligibleEvent {
+    TimerId id = kInvalidTimer;
+    std::uint64_t seq = 0;  // scheduling order; eligible()[0] is FIFO head
+    TimePoint at = 0;
+    std::string label;  // empty = unlabelled (dependent with everything)
+  };
+
+  /// All events at the earliest pending timestamp, in FIFO (seq) order.
+  /// Empty when idle. Firing eligible()[0] is exactly what step() does.
+  [[nodiscard]] std::vector<EligibleEvent> eligible() const;
+
+  /// Fire the eligible event `id` out of FIFO order. Returns false (and
+  /// fires nothing) if `id` is unknown, cancelled, or not at the earliest
+  /// pending timestamp — a chosen event may have been cancelled by a
+  /// sibling that ran before it, so callers must re-read eligible().
+  bool step_event(TimerId id);
+
+  /// While in scope, events scheduled on this queue are stamped with
+  /// `label` (the host they act on) for the model checker's independence
+  /// relation. Nests: the previous label is restored on destruction.
+  class LabelScope {
+   public:
+    LabelScope(EventQueue& q, std::string label)
+        : q_(q), prev_(std::move(q.schedule_label_)) {
+      q_.schedule_label_ = std::move(label);
+    }
+    ~LabelScope() { q_.schedule_label_ = std::move(prev_); }
+    LabelScope(const LabelScope&) = delete;
+    LabelScope& operator=(const LabelScope&) = delete;
+
+   private:
+    EventQueue& q_;
+    std::string prev_;
+  };
+
   [[nodiscard]] std::size_t pending() const { return events_.size(); }
   [[nodiscard]] std::size_t executed() const { return executed_; }
 
@@ -49,8 +98,15 @@ class EventQueue final : public Executor {
   };
   struct Entry {
     TimerId id;
+    std::string label;
     std::function<void()> fn;
   };
+
+  /// Extract and run one event. `it` must be valid. Shared by step() and
+  /// step_event(): erases the timer mapping BEFORE the closure runs (so a
+  /// self-cancel is a no-op), advances the clock, and propagates the
+  /// event's label to anything the closure schedules.
+  void fire(std::map<Key, Entry>::iterator it);
 
   VirtualClock clock_;
   std::map<Key, Entry> events_;
@@ -58,6 +114,7 @@ class EventQueue final : public Executor {
   std::uint64_t next_seq_ = 1;
   TimerId next_timer_ = 1;
   std::size_t executed_ = 0;
+  std::string schedule_label_;  // stamped on newly scheduled events
 };
 
 }  // namespace ew::sim

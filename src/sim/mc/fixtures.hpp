@@ -1,0 +1,43 @@
+// The model checker's protocol fixtures: three small deterministic worlds
+// (3-node clique election, 3-server gossip anti-entropy, scheduler batch
+// delivery with 1 server + 2 clients) rebuilt from a seed for every explored
+// branch. Each fixture zeroes the stochastic network knobs (loss, jitter) so
+// the only nondeterminism left is the one the Explorer controls: the firing
+// order of same-time events and the placement of crash/restart faults.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/mc/explorer.hpp"
+
+namespace ew::sim::mc {
+
+/// Three CliqueMembers (g0..g2) electing and re-electing a leader. Explored
+/// from t=0: the join/merge races ARE the protocol under test. Faults:
+/// crash g2, restart g2. Checks: trace invariants, live members converge on
+/// one identical view containing exactly the live set, exactly one leader.
+std::unique_ptr<World> make_clique_world(std::uint64_t seed);
+
+/// Three GossipServers (s0..s2) with deliberately divergent pre-seeded
+/// stores running digest/delta anti-entropy. Warmup forms the clique FIFO;
+/// exploration permutes the sync rounds. Faults: crash s2, restart s2 (a
+/// restarted server rejoins empty and must re-absorb). Checks: trace
+/// invariants, live stores pairwise identical, freshest surviving versions
+/// won.
+std::unique_ptr<World> make_gossip_world(std::uint64_t seed);
+
+/// A miniature scheduler (real ReportBatch/DirectiveBatch wire structs, real
+/// WorkPool, real Node call layer) with two clients whose report batches are
+/// hedged: every tick sends the batch twice, and only the second copy's
+/// reply is honored — the first models a retry loser whose reply the call
+/// layer drops. `dedupe` = the server's seq-based reply cache (PR 8's
+/// semantics). With dedupe on, duplicates replay the cached directive and
+/// the lease ledgers agree on every branch; with dedupe off, a crash +
+/// presumed-dead sweep puts progressed units in the idle frontier, the
+/// duplicate application hands them out under a reply nobody applies, and
+/// the client/server lease ledgers diverge permanently — the deliberately
+/// seeded bug the Explorer must catch with a minimized repro.
+std::unique_ptr<World> make_sched_world(std::uint64_t seed, bool dedupe);
+
+}  // namespace ew::sim::mc

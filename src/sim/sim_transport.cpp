@@ -68,6 +68,10 @@ Status SimTransport::send(const Endpoint& from, const Endpoint& to, Packet packe
 
 void SimTransport::deliver_at(Duration latency, const Endpoint& from,
                               const Endpoint& to, Packet packet, bool corrupt) {
+  // Label the delivery (and, by inheritance, everything the receiving
+  // handler schedules) with the destination host: the model checker's
+  // independence relation is "different hosts commute".
+  EventQueue::LabelScope scope(events_, to.host);
   events_.schedule(latency, [this, from, to, corrupt,
                              pkt = std::move(packet)]() mutable {
     if (!host_up(to.host)) return;  // receiver died in flight

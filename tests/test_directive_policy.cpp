@@ -47,18 +47,24 @@ class DirectivePolicyTest : public ::testing::Test {
     return *spec;
   }
 
-  /// Send one progress report for a unit on behalf of `host`.
+  /// Send one progress report for a unit on behalf of `host`, over the
+  /// batch wire with a fresh per-client sequence number.
   void report(const std::string& host, std::uint64_t unit_id,
               std::uint64_t ops, std::uint64_t best_energy) {
-    ReportEnvelope env;
-    env.client = Endpoint{host, 2000};
-    env.report.unit_id = unit_id;
-    env.report.ops_done = ops;
-    env.report.best_energy = best_energy;
+    ReportBatch batch;
+    batch.client = Endpoint{host, 2000};
+    batch.seq = ++seq_[host];
+    batch.want_units = 1;
+    ramsey::WorkReport rep;
+    rep.unit_id = unit_id;
+    rep.ops_done = ops;
+    rep.best_energy = best_energy;
     Rng rng(unit_id);
-    env.report.best_graph = ramsey::ColoredGraph::random(20, rng).serialize();
-    client_node_.call(sched_node_.self(), msgtype::kSchedReport, env.serialize(),
-                      CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+    rep.best_graph = ramsey::ColoredGraph::random(20, rng).serialize();
+    batch.reports.push_back(std::move(rep));
+    client_node_.call(sched_node_.self(), msgtype::kSchedReportBatch,
+                      batch.serialize(), CallOptions::fixed(kSecond),
+                      [](Result<Bytes>) {});
     events_.run_for(5 * kSecond);
   }
 
@@ -67,6 +73,7 @@ class DirectivePolicyTest : public ::testing::Test {
   Node sched_node_;
   Node client_node_;
   std::unique_ptr<SchedulerServer> sched_;
+  std::map<std::string, std::uint64_t> seq_;  // per-client report sequence
 };
 
 TEST_F(DirectivePolicyTest, RotatesKindsBeforeEvidence) {

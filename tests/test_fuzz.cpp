@@ -40,12 +40,14 @@ std::vector<std::pair<const char*, Decoder>> decoders() {
        [](const Bytes& b) { return gossip::ParentDigest::deserialize(b).ok(); }},
       {"GossipBlobList",
        [](const Bytes& b) { return gossip::deserialize_blob_list(b).ok(); }},
+      {"PollRequest",
+       [](const Bytes& b) { return gossip::PollRequest::deserialize(b).ok(); }},
+      {"PollReply",
+       [](const Bytes& b) { return gossip::PollReply::deserialize(b).ok(); }},
       {"View", [](const Bytes& b) { return gossip::View::deserialize(b).ok(); }},
       {"Token", [](const Bytes& b) { return gossip::Token::deserialize(b).ok(); }},
       {"ClientHello",
        [](const Bytes& b) { return core::ClientHello::deserialize(b).ok(); }},
-      {"ReportEnvelope",
-       [](const Bytes& b) { return core::ReportEnvelope::deserialize(b).ok(); }},
       {"ReportBatch",
        [](const Bytes& b) { return core::ReportBatch::deserialize(b).ok(); }},
       {"DirectiveBatch",
@@ -86,9 +88,9 @@ TEST(Fuzz, DecodersSurviveBitflippedValidEncodings) {
   token.view.leader = Endpoint{"leader", 1};
   token.view.members = {Endpoint{"leader", 1}, Endpoint{"m", 2}};
   token.visited = {Endpoint{"leader", 1}};
-  core::ReportEnvelope env;
-  env.client = Endpoint{"client", 2000};
-  env.report.best_graph = ramsey::ColoredGraph::random(8, rng).serialize();
+  gossip::PollReply poll_reply;
+  poll_reply.blobs.push_back(
+      gossip::StateBlob{7, ramsey::ColoredGraph::random(8, rng).serialize()});
   core::ReportBatch batch;
   batch.client = Endpoint{"client", 2000};
   batch.seq = 7;
@@ -110,8 +112,8 @@ TEST(Fuzz, DecodersSurviveBitflippedValidEncodings) {
        [](const Bytes& b) { return ramsey::WorkSpec::deserialize(b).ok(); }},
       {token.serialize(),
        [](const Bytes& b) { return gossip::Token::deserialize(b).ok(); }},
-      {env.serialize(),
-       [](const Bytes& b) { return core::ReportEnvelope::deserialize(b).ok(); }},
+      {poll_reply.serialize(),
+       [](const Bytes& b) { return gossip::PollReply::deserialize(b).ok(); }},
       {batch.serialize(),
        [](const Bytes& b) { return core::ReportBatch::deserialize(b).ok(); }},
       {dir.serialize(),

@@ -98,6 +98,32 @@ TEST_F(GossipServerTest, ComponentRegistersAndIsPolled) {
   EXPECT_EQ(*blob_version(stored->content), 3u);
 }
 
+TEST_F(GossipServerTest, UnchangedComponentAnswersPollsFromTheDigestCache) {
+  build(1);
+  auto* c = add_component("comp-a");
+  c->version = 3;
+  events_.run_for(2 * kMinute);
+  // The first poll shipped the blob; every later one matched the gossip's
+  // digest and was answered "fresh" with no content.
+  ASSERT_GT(servers_[0]->polls_sent(), 2u);
+  EXPECT_GE(c->sync->poll_cache_hits(), servers_[0]->polls_sent() - 2);
+  auto stored = servers_[0]->store().get(kCounterState);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(*blob_version(stored->content), 3u);
+
+  // The moment the component's state changes, the cache misses and the
+  // fresh content flows again.
+  const std::uint64_t hits_before = c->sync->poll_cache_hits();
+  c->version = 9;
+  events_.run_for(30 * kSecond);
+  stored = servers_[0]->store().get(kCounterState);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(*blob_version(stored->content), 9u);
+  // And once absorbed, polls go back to cache hits.
+  events_.run_for(1 * kMinute);
+  EXPECT_GT(c->sync->poll_cache_hits(), hits_before);
+}
+
 TEST_F(GossipServerTest, StaleComponentReceivesUpdate) {
   build(1);
   auto* fresh = add_component("comp-a");

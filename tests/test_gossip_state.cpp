@@ -290,6 +290,55 @@ TEST(ProtocolCodec, TypeAndBlobListRoundTrip) {
   EXPECT_FALSE(deserialize_blob_list(w.bytes()).ok());
 }
 
+TEST(ProtocolCodec, PollRequestAndReplyRoundTrip) {
+  PollRequest req;
+  req.held.push_back(TypeSummary{7, 3, 0xabcdef});
+  req.held.push_back(TypeSummary{9, 0, 0});  // gossip holds nothing yet
+  const auto rq = PollRequest::deserialize(req.serialize());
+  ASSERT_TRUE(rq.ok());
+  ASSERT_EQ(rq->held.size(), 2u);
+  EXPECT_EQ(rq->held[0].type, 7);
+  EXPECT_EQ(rq->held[0].checksum, 0xabcdefu);
+  EXPECT_EQ(rq->held[1].version, 0u);
+
+  PollReply fresh;
+  fresh.fresh = true;
+  const auto fr = PollReply::deserialize(fresh.serialize());
+  ASSERT_TRUE(fr.ok());
+  EXPECT_TRUE(fr->fresh);
+  EXPECT_TRUE(fr->blobs.empty());
+
+  PollReply stale;
+  stale.blobs.push_back(StateBlob{5, Bytes{1, 2, 3}});
+  const auto sr = PollReply::deserialize(stale.serialize());
+  ASSERT_TRUE(sr.ok());
+  EXPECT_FALSE(sr->fresh);
+  ASSERT_EQ(sr->blobs.size(), 1u);
+  EXPECT_EQ(sr->blobs[0].content, (Bytes{1, 2, 3}));
+
+  // Count guards.
+  Writer w;
+  w.u32(50'000'000);
+  EXPECT_FALSE(PollRequest::deserialize(w.bytes()).ok());
+  Writer w2;
+  w2.u8(0);
+  w2.u32(50'000'000);
+  EXPECT_FALSE(PollReply::deserialize(w2.bytes()).ok());
+}
+
+TEST(StateStore, SummaryOfSingleType) {
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  EXPECT_EQ(store.summary_of(7).type, 7);
+  EXPECT_EQ(store.summary_of(7).version, 0u);
+  EXPECT_EQ(store.summary_of(7).checksum, 0u);
+  const StateBlob blob{7, versioned_blob(3, Bytes{1})};
+  store.merge(blob);
+  const TypeSummary s = store.summary_of(7);
+  EXPECT_EQ(s.version, 3u);
+  EXPECT_EQ(s.checksum, content_checksum(blob.content));
+}
+
 TEST(ProtocolCodec, ViewRoundTripSortsMembers) {
   View v;
   v.generation = 9;

@@ -277,68 +277,59 @@ TEST_F(SchedulerClientTest, MultiUnitLeaseReportedInBatches) {
   }
 }
 
-TEST_F(SchedulerClientTest, PerUnitShimAndBatchOfOneBitIdenticalPoolState) {
-  // The deprecated per-unit kSchedReport path is a batch-of-1 shim: driving
-  // two identically-configured schedulers, one via ReportEnvelope and one
-  // via ReportBatch{1 report}, must leave bit-identical pool state.
-  auto& a = add_scheduler("schedA", 20, 4);
-  auto& b = add_scheduler("schedB", 20, 4);
+TEST_F(SchedulerClientTest, RetiredPerUnitReportWireIsRejected) {
+  // Wire parity: the per-unit kSchedReport shim is gone. A frame sent at the
+  // retired message id must be rejected as unhandled — not silently decoded,
+  // not routed through the batch core — and must leave no trace on the pool.
+  auto& sched = add_scheduler("sched", 20, 4);
   auto fake = std::make_unique<Node>(events_, transport_, Endpoint{"fake", 2100});
   fake->start();
 
   const Endpoint worker{"worker", 2000};
-  std::optional<ramsey::WorkSpec> spec_a, spec_b;
-  auto do_register = [&](const Endpoint& sched, std::optional<ramsey::WorkSpec>* out) {
-    ClientHello hello;
-    hello.client = worker;
-    hello.infra = Infra::kUnix;
-    hello.host = "worker";
-    hello.want_units = 1;
-    fake->call(sched, msgtype::kSchedRegister, hello.serialize(),
-               CallOptions::fixed(kSecond), [out](Result<Bytes> r) {
-                 ASSERT_TRUE(r.ok());
-                 auto d = DirectiveBatch::deserialize(*r);
-                 ASSERT_TRUE(d.ok() && !d->assign.empty());
-                 *out = d->assign.front();
-               });
-    events_.run_for(5 * kSecond);
-  };
-  do_register(Endpoint{"schedA", 601}, &spec_a);
-  do_register(Endpoint{"schedB", 601}, &spec_b);
-  ASSERT_TRUE(spec_a && spec_b);
-  ASSERT_EQ(spec_a->unit_id, spec_b->unit_id);
+  ClientHello hello;
+  hello.client = worker;
+  hello.infra = Infra::kUnix;
+  hello.host = "worker";
+  hello.want_units = 1;
+  std::optional<ramsey::WorkSpec> spec;
+  fake->call(Endpoint{"sched", 601}, msgtype::kSchedRegister, hello.serialize(),
+             CallOptions::fixed(kSecond), [&spec](Result<Bytes> r) {
+               ASSERT_TRUE(r.ok());
+               auto d = DirectiveBatch::deserialize(*r);
+               ASSERT_TRUE(d.ok() && !d->assign.empty());
+               spec = d->assign.front();
+             });
+  events_.run_for(5 * kSecond);
+  ASSERT_TRUE(spec.has_value());
 
-  ramsey::WorkReport rep;
-  rep.unit_id = spec_a->unit_id;
-  rep.ops_done = 500'000'000;
-  rep.best_energy = 88;
-  Rng rng(7);
-  rep.best_graph = ramsey::ColoredGraph::random(20, rng).serialize();
-
-  ReportEnvelope env;  // legacy per-unit path, scheduler A
-  env.client = worker;
-  env.report = rep;
-  fake->call(Endpoint{"schedA", 601}, msgtype::kSchedReport, env.serialize(),
-             CallOptions::fixed(kSecond), [](Result<Bytes>) {});
-  ReportBatch batch;  // batch-of-1, scheduler B
+  // A well-formed v2 batch payload aimed at the retired id: the old shim
+  // would have decoded its own envelope, but nothing listens there now.
+  ReportBatch batch;
   batch.client = worker;
   batch.seq = 1;
   batch.want_units = 1;
+  ramsey::WorkReport rep;
+  rep.unit_id = spec->unit_id;
+  rep.ops_done = 500'000'000;
+  rep.best_energy = 88;
   batch.reports.push_back(rep);
-  fake->call(Endpoint{"schedB", 601}, msgtype::kSchedReportBatch,
-             batch.serialize(), CallOptions::fixed(kSecond), [](Result<Bytes>) {});
+  bool rejected = false;
+  fake->call(Endpoint{"sched", 601}, msgtype::kSchedReport, batch.serialize(),
+             CallOptions::fixed(kSecond), [&rejected](Result<Bytes> r) {
+               rejected = !r.ok();
+             });
   events_.run_for(5 * kSecond);
-  EXPECT_EQ(a.reports_received(), 1u);
-  EXPECT_EQ(b.reports_received(), 1u);
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(sched.reports_received(), 0u);  // nothing reached the batch core
 
-  // Silence: both sweeps presume the worker dead and reclaim the unit into
-  // the idle frontier, where the exported image captures the full state.
-  events_.run_for(10 * kMinute);
-  EXPECT_EQ(a.pool().assigned_count(), 0u);
-  EXPECT_EQ(b.pool().assigned_count(), 0u);
-  EXPECT_EQ(a.pool().shard(0).export_frontier(),
-            b.pool().shard(0).export_frontier());
-  EXPECT_EQ(a.pool().units_issued(), b.pool().units_issued());
+  // The same payload at the batch id is accepted: only the id was retired.
+  bool accepted = false;
+  fake->call(Endpoint{"sched", 601}, msgtype::kSchedReportBatch,
+             batch.serialize(), CallOptions::fixed(kSecond),
+             [&accepted](Result<Bytes> r) { accepted = r.ok(); });
+  events_.run_for(5 * kSecond);
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(sched.reports_received(), 1u);
 }
 
 TEST_F(SchedulerClientTest, ShardedRestartReplaysPerShardWithoutDoubleIssue) {
