@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeouts.dir/ablation_timeouts.cpp.o"
+  "CMakeFiles/ablation_timeouts.dir/ablation_timeouts.cpp.o.d"
+  "ablation_timeouts"
+  "ablation_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

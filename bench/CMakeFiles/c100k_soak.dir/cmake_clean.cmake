@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c100k_soak.dir/c100k_soak.cpp.o"
+  "CMakeFiles/c100k_soak.dir/c100k_soak.cpp.o.d"
+  "c100k_soak"
+  "c100k_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c100k_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c10k_soak.dir/c10k_soak.cpp.o"
+  "CMakeFiles/c10k_soak.dir/c10k_soak.cpp.o.d"
+  "c10k_soak"
+  "c10k_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c10k_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependability_long_run.dir/dependability_long_run.cpp.o"
+  "CMakeFiles/dependability_long_run.dir/dependability_long_run.cpp.o.d"
+  "dependability_long_run"
+  "dependability_long_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependability_long_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dependability_long_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sustained_performance.dir/fig2_sustained_performance.cpp.o"
+  "CMakeFiles/fig2_sustained_performance.dir/fig2_sustained_performance.cpp.o.d"
+  "fig2_sustained_performance"
+  "fig2_sustained_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sustained_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

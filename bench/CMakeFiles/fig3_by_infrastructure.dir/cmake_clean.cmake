@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_by_infrastructure.dir/fig3_by_infrastructure.cpp.o"
+  "CMakeFiles/fig3_by_infrastructure.dir/fig3_by_infrastructure.cpp.o.d"
+  "fig3_by_infrastructure"
+  "fig3_by_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_by_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

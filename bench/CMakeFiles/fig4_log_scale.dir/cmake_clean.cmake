@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_log_scale.dir/fig4_log_scale.cpp.o"
+  "CMakeFiles/fig4_log_scale.dir/fig4_log_scale.cpp.o.d"
+  "fig4_log_scale"
+  "fig4_log_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_log_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

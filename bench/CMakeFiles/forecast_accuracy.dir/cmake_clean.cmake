@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_accuracy.dir/forecast_accuracy.cpp.o"
+  "CMakeFiles/forecast_accuracy.dir/forecast_accuracy.cpp.o.d"
+  "forecast_accuracy"
+  "forecast_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_scale.dir/gossip_scale.cpp.o"
+  "CMakeFiles/gossip_scale.dir/gossip_scale.cpp.o.d"
+  "gossip_scale"
+  "gossip_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

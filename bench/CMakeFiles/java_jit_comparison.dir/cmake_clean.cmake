@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_jit_comparison.dir/java_jit_comparison.cpp.o"
+  "CMakeFiles/java_jit_comparison.dir/java_jit_comparison.cpp.o.d"
+  "java_jit_comparison"
+  "java_jit_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_jit_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

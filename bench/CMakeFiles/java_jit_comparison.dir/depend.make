@@ -1,0 +1,2 @@
+# Empty dependencies file for java_jit_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_explore.dir/mc_explore.cpp.o"
+  "CMakeFiles/mc_explore.dir/mc_explore.cpp.o.d"
+  "mc_explore"
+  "mc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_forecast.dir/micro_forecast.cpp.o"
+  "CMakeFiles/micro_forecast.dir/micro_forecast.cpp.o.d"
+  "micro_forecast"
+  "micro_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

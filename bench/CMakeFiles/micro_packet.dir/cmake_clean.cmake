@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_packet.dir/micro_packet.cpp.o"
+  "CMakeFiles/micro_packet.dir/micro_packet.cpp.o.d"
+  "micro_packet"
+  "micro_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ramsey.dir/micro_ramsey.cpp.o"
+  "CMakeFiles/micro_ramsey.dir/micro_ramsey.cpp.o.d"
+  "micro_ramsey"
+  "micro_ramsey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ramsey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_scale.dir/sched_scale.cpp.o"
+  "CMakeFiles/sched_scale.dir/sched_scale.cpp.o.d"
+  "sched_scale"
+  "sched_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/usr/bin/cmake" "-DMICRO_FORECAST=/root/repo/bench/micro_forecast" "-DMICRO_OBS=/root/repo/bench/micro_obs" "-DMICRO_PACKET=/root/repo/bench/micro_packet" "-DABLATION_TIMEOUTS=/root/repo/bench/ablation_timeouts" "-DC10K_SOAK=/root/repo/bench/c10k_soak" "-DC100K_SOAK=/root/repo/bench/c100k_soak" "-DGOSSIP_SCALE=/root/repo/bench/gossip_scale" "-DSCHED_SCALE=/root/repo/bench/sched_scale" "-DMC_EXPLORE=/root/repo/bench/mc_explore" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;68;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(mc_smoke "/root/repo/bench/mc_explore" "--quick")
+set_tests_properties(mc_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;84;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(chaos_smoke "/root/repo/bench/dependability_long_run" "--quick")
+set_tests_properties(chaos_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;89;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_timeouts.dir/forecast_timeouts.cpp.o"
+  "CMakeFiles/forecast_timeouts.dir/forecast_timeouts.cpp.o.d"
+  "forecast_timeouts"
+  "forecast_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

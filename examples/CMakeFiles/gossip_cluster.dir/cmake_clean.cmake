@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_cluster.dir/gossip_cluster.cpp.o"
+  "CMakeFiles/gossip_cluster.dir/gossip_cluster.cpp.o.d"
+  "gossip_cluster"
+  "gossip_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

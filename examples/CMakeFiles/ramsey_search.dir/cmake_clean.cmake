@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramsey_search.dir/ramsey_search.cpp.o"
+  "CMakeFiles/ramsey_search.dir/ramsey_search.cpp.o.d"
+  "ramsey_search"
+  "ramsey_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramsey_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

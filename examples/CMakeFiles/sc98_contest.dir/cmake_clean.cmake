@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc98_contest.dir/sc98_contest.cpp.o"
+  "CMakeFiles/sc98_contest.dir/sc98_contest.cpp.o.d"
+  "sc98_contest"
+  "sc98_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc98_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_framework_tour.dir/service_framework_tour.cpp.o"
+  "CMakeFiles/service_framework_tour.dir/service_framework_tour.cpp.o.d"
+  "service_framework_tour"
+  "service_framework_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_framework_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("forecast")
+subdirs("net")
+subdirs("gossip")
+subdirs("sim")
+subdirs("infra")
+subdirs("ramsey")
+subdirs("core")
+subdirs("sim/mc")
+subdirs("nws")
+subdirs("app")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_app.dir/client_process.cpp.o"
+  "CMakeFiles/ew_app.dir/client_process.cpp.o.d"
+  "CMakeFiles/ew_app.dir/light_switch.cpp.o"
+  "CMakeFiles/ew_app.dir/light_switch.cpp.o.d"
+  "CMakeFiles/ew_app.dir/metrics.cpp.o"
+  "CMakeFiles/ew_app.dir/metrics.cpp.o.d"
+  "CMakeFiles/ew_app.dir/scenario.cpp.o"
+  "CMakeFiles/ew_app.dir/scenario.cpp.o.d"
+  "libew_app.a"
+  "libew_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

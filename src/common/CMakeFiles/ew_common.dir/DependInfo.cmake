@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/ew_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/ew_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/ew_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/ew_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/common/CMakeFiles/ew_common.dir/serialize.cpp.o" "gcc" "src/common/CMakeFiles/ew_common.dir/serialize.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/ew_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/ew_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/stats_simd.cpp" "src/common/CMakeFiles/ew_common.dir/stats_simd.cpp.o" "gcc" "src/common/CMakeFiles/ew_common.dir/stats_simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_common.dir/clock.cpp.o"
+  "CMakeFiles/ew_common.dir/clock.cpp.o.d"
+  "CMakeFiles/ew_common.dir/log.cpp.o"
+  "CMakeFiles/ew_common.dir/log.cpp.o.d"
+  "CMakeFiles/ew_common.dir/serialize.cpp.o"
+  "CMakeFiles/ew_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/ew_common.dir/stats.cpp.o"
+  "CMakeFiles/ew_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ew_common.dir/stats_simd.cpp.o"
+  "CMakeFiles/ew_common.dir/stats_simd.cpp.o.d"
+  "libew_common.a"
+  "libew_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/ew_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/logging_service.cpp" "src/core/CMakeFiles/ew_core.dir/logging_service.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/logging_service.cpp.o.d"
+  "/root/repo/src/core/persistent_state.cpp" "src/core/CMakeFiles/ew_core.dir/persistent_state.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/persistent_state.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/ew_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/ew_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/server_directory.cpp" "src/core/CMakeFiles/ew_core.dir/server_directory.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/server_directory.cpp.o.d"
+  "/root/repo/src/core/service_framework.cpp" "src/core/CMakeFiles/ew_core.dir/service_framework.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/service_framework.cpp.o.d"
+  "/root/repo/src/core/sharded_work_pool.cpp" "src/core/CMakeFiles/ew_core.dir/sharded_work_pool.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/sharded_work_pool.cpp.o.d"
+  "/root/repo/src/core/work_pool.cpp" "src/core/CMakeFiles/ew_core.dir/work_pool.cpp.o" "gcc" "src/core/CMakeFiles/ew_core.dir/work_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  "/root/repo/src/gossip/CMakeFiles/ew_gossip.dir/DependInfo.cmake"
+  "/root/repo/src/ramsey/CMakeFiles/ew_ramsey.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_core.dir/client.cpp.o"
+  "CMakeFiles/ew_core.dir/client.cpp.o.d"
+  "CMakeFiles/ew_core.dir/logging_service.cpp.o"
+  "CMakeFiles/ew_core.dir/logging_service.cpp.o.d"
+  "CMakeFiles/ew_core.dir/persistent_state.cpp.o"
+  "CMakeFiles/ew_core.dir/persistent_state.cpp.o.d"
+  "CMakeFiles/ew_core.dir/protocol.cpp.o"
+  "CMakeFiles/ew_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/ew_core.dir/scheduler.cpp.o"
+  "CMakeFiles/ew_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ew_core.dir/server_directory.cpp.o"
+  "CMakeFiles/ew_core.dir/server_directory.cpp.o.d"
+  "CMakeFiles/ew_core.dir/service_framework.cpp.o"
+  "CMakeFiles/ew_core.dir/service_framework.cpp.o.d"
+  "CMakeFiles/ew_core.dir/sharded_work_pool.cpp.o"
+  "CMakeFiles/ew_core.dir/sharded_work_pool.cpp.o.d"
+  "CMakeFiles/ew_core.dir/work_pool.cpp.o"
+  "CMakeFiles/ew_core.dir/work_pool.cpp.o.d"
+  "libew_core.a"
+  "libew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

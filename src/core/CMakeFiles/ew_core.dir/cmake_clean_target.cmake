@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libew_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/dynamic_benchmark.cpp" "src/forecast/CMakeFiles/ew_forecast.dir/dynamic_benchmark.cpp.o" "gcc" "src/forecast/CMakeFiles/ew_forecast.dir/dynamic_benchmark.cpp.o.d"
+  "/root/repo/src/forecast/forecaster.cpp" "src/forecast/CMakeFiles/ew_forecast.dir/forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/ew_forecast.dir/forecaster.cpp.o.d"
+  "/root/repo/src/forecast/selector.cpp" "src/forecast/CMakeFiles/ew_forecast.dir/selector.cpp.o" "gcc" "src/forecast/CMakeFiles/ew_forecast.dir/selector.cpp.o.d"
+  "/root/repo/src/forecast/timeout.cpp" "src/forecast/CMakeFiles/ew_forecast.dir/timeout.cpp.o" "gcc" "src/forecast/CMakeFiles/ew_forecast.dir/timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

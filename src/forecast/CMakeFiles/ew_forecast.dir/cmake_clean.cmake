@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_forecast.dir/dynamic_benchmark.cpp.o"
+  "CMakeFiles/ew_forecast.dir/dynamic_benchmark.cpp.o.d"
+  "CMakeFiles/ew_forecast.dir/forecaster.cpp.o"
+  "CMakeFiles/ew_forecast.dir/forecaster.cpp.o.d"
+  "CMakeFiles/ew_forecast.dir/selector.cpp.o"
+  "CMakeFiles/ew_forecast.dir/selector.cpp.o.d"
+  "CMakeFiles/ew_forecast.dir/timeout.cpp.o"
+  "CMakeFiles/ew_forecast.dir/timeout.cpp.o.d"
+  "libew_forecast.a"
+  "libew_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

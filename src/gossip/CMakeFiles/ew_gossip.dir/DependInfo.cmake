@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/clique.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/clique.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/clique.cpp.o.d"
+  "/root/repo/src/gossip/gossip_server.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/gossip_server.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/gossip_server.cpp.o.d"
+  "/root/repo/src/gossip/hierarchy.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/hierarchy.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/gossip/protocol.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/protocol.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/protocol.cpp.o.d"
+  "/root/repo/src/gossip/state.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/state.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/state.cpp.o.d"
+  "/root/repo/src/gossip/sync_client.cpp" "src/gossip/CMakeFiles/ew_gossip.dir/sync_client.cpp.o" "gcc" "src/gossip/CMakeFiles/ew_gossip.dir/sync_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

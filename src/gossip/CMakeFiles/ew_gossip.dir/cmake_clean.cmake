@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_gossip.dir/clique.cpp.o"
+  "CMakeFiles/ew_gossip.dir/clique.cpp.o.d"
+  "CMakeFiles/ew_gossip.dir/gossip_server.cpp.o"
+  "CMakeFiles/ew_gossip.dir/gossip_server.cpp.o.d"
+  "CMakeFiles/ew_gossip.dir/hierarchy.cpp.o"
+  "CMakeFiles/ew_gossip.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/ew_gossip.dir/protocol.cpp.o"
+  "CMakeFiles/ew_gossip.dir/protocol.cpp.o.d"
+  "CMakeFiles/ew_gossip.dir/state.cpp.o"
+  "CMakeFiles/ew_gossip.dir/state.cpp.o.d"
+  "CMakeFiles/ew_gossip.dir/sync_client.cpp.o"
+  "CMakeFiles/ew_gossip.dir/sync_client.cpp.o.d"
+  "libew_gossip.a"
+  "libew_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

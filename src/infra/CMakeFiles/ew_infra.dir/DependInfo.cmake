@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/condor.cpp" "src/infra/CMakeFiles/ew_infra.dir/condor.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/condor.cpp.o.d"
+  "/root/repo/src/infra/globus.cpp" "src/infra/CMakeFiles/ew_infra.dir/globus.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/globus.cpp.o.d"
+  "/root/repo/src/infra/host.cpp" "src/infra/CMakeFiles/ew_infra.dir/host.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/host.cpp.o.d"
+  "/root/repo/src/infra/java.cpp" "src/infra/CMakeFiles/ew_infra.dir/java.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/java.cpp.o.d"
+  "/root/repo/src/infra/legion.cpp" "src/infra/CMakeFiles/ew_infra.dir/legion.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/legion.cpp.o.d"
+  "/root/repo/src/infra/netsolve.cpp" "src/infra/CMakeFiles/ew_infra.dir/netsolve.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/netsolve.cpp.o.d"
+  "/root/repo/src/infra/nt.cpp" "src/infra/CMakeFiles/ew_infra.dir/nt.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/nt.cpp.o.d"
+  "/root/repo/src/infra/pool.cpp" "src/infra/CMakeFiles/ew_infra.dir/pool.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/pool.cpp.o.d"
+  "/root/repo/src/infra/profiles.cpp" "src/infra/CMakeFiles/ew_infra.dir/profiles.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/profiles.cpp.o.d"
+  "/root/repo/src/infra/unix.cpp" "src/infra/CMakeFiles/ew_infra.dir/unix.cpp.o" "gcc" "src/infra/CMakeFiles/ew_infra.dir/unix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/ew_sim.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/src/gossip/CMakeFiles/ew_gossip.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  "/root/repo/src/ramsey/CMakeFiles/ew_ramsey.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_infra.dir/condor.cpp.o"
+  "CMakeFiles/ew_infra.dir/condor.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/globus.cpp.o"
+  "CMakeFiles/ew_infra.dir/globus.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/host.cpp.o"
+  "CMakeFiles/ew_infra.dir/host.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/java.cpp.o"
+  "CMakeFiles/ew_infra.dir/java.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/legion.cpp.o"
+  "CMakeFiles/ew_infra.dir/legion.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/netsolve.cpp.o"
+  "CMakeFiles/ew_infra.dir/netsolve.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/nt.cpp.o"
+  "CMakeFiles/ew_infra.dir/nt.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/pool.cpp.o"
+  "CMakeFiles/ew_infra.dir/pool.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/profiles.cpp.o"
+  "CMakeFiles/ew_infra.dir/profiles.cpp.o.d"
+  "CMakeFiles/ew_infra.dir/unix.cpp.o"
+  "CMakeFiles/ew_infra.dir/unix.cpp.o.d"
+  "libew_infra.a"
+  "libew_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

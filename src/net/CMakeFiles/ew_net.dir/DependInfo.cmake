@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/call_policy.cpp" "src/net/CMakeFiles/ew_net.dir/call_policy.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/call_policy.cpp.o.d"
+  "/root/repo/src/net/inproc_transport.cpp" "src/net/CMakeFiles/ew_net.dir/inproc_transport.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/ew_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/ew_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/reactor.cpp" "src/net/CMakeFiles/ew_net.dir/reactor.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/reactor.cpp.o.d"
+  "/root/repo/src/net/shard_pool.cpp" "src/net/CMakeFiles/ew_net.dir/shard_pool.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/shard_pool.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/ew_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/net/CMakeFiles/ew_net.dir/tcp_transport.cpp.o" "gcc" "src/net/CMakeFiles/ew_net.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

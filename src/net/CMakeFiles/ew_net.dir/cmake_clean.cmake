@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_net.dir/call_policy.cpp.o"
+  "CMakeFiles/ew_net.dir/call_policy.cpp.o.d"
+  "CMakeFiles/ew_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/ew_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/ew_net.dir/node.cpp.o"
+  "CMakeFiles/ew_net.dir/node.cpp.o.d"
+  "CMakeFiles/ew_net.dir/packet.cpp.o"
+  "CMakeFiles/ew_net.dir/packet.cpp.o.d"
+  "CMakeFiles/ew_net.dir/reactor.cpp.o"
+  "CMakeFiles/ew_net.dir/reactor.cpp.o.d"
+  "CMakeFiles/ew_net.dir/shard_pool.cpp.o"
+  "CMakeFiles/ew_net.dir/shard_pool.cpp.o.d"
+  "CMakeFiles/ew_net.dir/tcp.cpp.o"
+  "CMakeFiles/ew_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/ew_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/ew_net.dir/tcp_transport.cpp.o.d"
+  "libew_net.a"
+  "libew_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_nws.dir/nws.cpp.o"
+  "CMakeFiles/ew_nws.dir/nws.cpp.o.d"
+  "libew_nws.a"
+  "libew_nws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_obs.dir/invariants.cpp.o"
+  "CMakeFiles/ew_obs.dir/invariants.cpp.o.d"
+  "CMakeFiles/ew_obs.dir/registry.cpp.o"
+  "CMakeFiles/ew_obs.dir/registry.cpp.o.d"
+  "CMakeFiles/ew_obs.dir/trace.cpp.o"
+  "CMakeFiles/ew_obs.dir/trace.cpp.o.d"
+  "libew_obs.a"
+  "libew_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ramsey/clique.cpp" "src/ramsey/CMakeFiles/ew_ramsey.dir/clique.cpp.o" "gcc" "src/ramsey/CMakeFiles/ew_ramsey.dir/clique.cpp.o.d"
+  "/root/repo/src/ramsey/graph.cpp" "src/ramsey/CMakeFiles/ew_ramsey.dir/graph.cpp.o" "gcc" "src/ramsey/CMakeFiles/ew_ramsey.dir/graph.cpp.o.d"
+  "/root/repo/src/ramsey/heuristic.cpp" "src/ramsey/CMakeFiles/ew_ramsey.dir/heuristic.cpp.o" "gcc" "src/ramsey/CMakeFiles/ew_ramsey.dir/heuristic.cpp.o.d"
+  "/root/repo/src/ramsey/workunit.cpp" "src/ramsey/CMakeFiles/ew_ramsey.dir/workunit.cpp.o" "gcc" "src/ramsey/CMakeFiles/ew_ramsey.dir/workunit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_ramsey.dir/clique.cpp.o"
+  "CMakeFiles/ew_ramsey.dir/clique.cpp.o.d"
+  "CMakeFiles/ew_ramsey.dir/graph.cpp.o"
+  "CMakeFiles/ew_ramsey.dir/graph.cpp.o.d"
+  "CMakeFiles/ew_ramsey.dir/heuristic.cpp.o"
+  "CMakeFiles/ew_ramsey.dir/heuristic.cpp.o.d"
+  "CMakeFiles/ew_ramsey.dir/workunit.cpp.o"
+  "CMakeFiles/ew_ramsey.dir/workunit.cpp.o.d"
+  "libew_ramsey.a"
+  "libew_ramsey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_ramsey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

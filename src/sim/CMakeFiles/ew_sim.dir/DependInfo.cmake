@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chaos.cpp" "src/sim/CMakeFiles/ew_sim.dir/chaos.cpp.o" "gcc" "src/sim/CMakeFiles/ew_sim.dir/chaos.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ew_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ew_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network_model.cpp" "src/sim/CMakeFiles/ew_sim.dir/network_model.cpp.o" "gcc" "src/sim/CMakeFiles/ew_sim.dir/network_model.cpp.o.d"
+  "/root/repo/src/sim/sim_transport.cpp" "src/sim/CMakeFiles/ew_sim.dir/sim_transport.cpp.o" "gcc" "src/sim/CMakeFiles/ew_sim.dir/sim_transport.cpp.o.d"
+  "/root/repo/src/sim/traces.cpp" "src/sim/CMakeFiles/ew_sim.dir/traces.cpp.o" "gcc" "src/sim/CMakeFiles/ew_sim.dir/traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

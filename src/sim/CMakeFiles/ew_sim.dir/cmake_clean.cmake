@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_sim.dir/chaos.cpp.o"
+  "CMakeFiles/ew_sim.dir/chaos.cpp.o.d"
+  "CMakeFiles/ew_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ew_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ew_sim.dir/network_model.cpp.o"
+  "CMakeFiles/ew_sim.dir/network_model.cpp.o.d"
+  "CMakeFiles/ew_sim.dir/sim_transport.cpp.o"
+  "CMakeFiles/ew_sim.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/ew_sim.dir/traces.cpp.o"
+  "CMakeFiles/ew_sim.dir/traces.cpp.o.d"
+  "libew_sim.a"
+  "libew_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

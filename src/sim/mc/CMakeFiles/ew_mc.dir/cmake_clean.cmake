@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_mc.dir/explorer.cpp.o"
+  "CMakeFiles/ew_mc.dir/explorer.cpp.o.d"
+  "CMakeFiles/ew_mc.dir/fixtures.cpp.o"
+  "CMakeFiles/ew_mc.dir/fixtures.cpp.o.d"
+  "libew_mc.a"
+  "libew_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_components.dir/test_app_components.cpp.o"
+  "CMakeFiles/test_app_components.dir/test_app_components.cpp.o.d"
+  "test_app_components"
+  "test_app_components.pdb"
+  "test_app_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_call_policy.dir/test_call_policy.cpp.o"
+  "CMakeFiles/test_call_policy.dir/test_call_policy.cpp.o.d"
+  "test_call_policy"
+  "test_call_policy.pdb"
+  "test_call_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_call_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique.dir/test_clique.cpp.o"
+  "CMakeFiles/test_clique.dir/test_clique.cpp.o.d"
+  "test_clique"
+  "test_clique.pdb"
+  "test_clique[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directive_policy.dir/test_directive_policy.cpp.o"
+  "CMakeFiles/test_directive_policy.dir/test_directive_policy.cpp.o.d"
+  "test_directive_policy"
+  "test_directive_policy.pdb"
+  "test_directive_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast_incremental.dir/test_forecast_incremental.cpp.o"
+  "CMakeFiles/test_forecast_incremental.dir/test_forecast_incremental.cpp.o.d"
+  "test_forecast_incremental"
+  "test_forecast_incremental.pdb"
+  "test_forecast_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

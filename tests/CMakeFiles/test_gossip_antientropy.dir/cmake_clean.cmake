@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_antientropy.dir/test_gossip_antientropy.cpp.o"
+  "CMakeFiles/test_gossip_antientropy.dir/test_gossip_antientropy.cpp.o.d"
+  "test_gossip_antientropy"
+  "test_gossip_antientropy.pdb"
+  "test_gossip_antientropy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_antientropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

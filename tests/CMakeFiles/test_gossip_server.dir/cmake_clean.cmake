@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_server.dir/test_gossip_server.cpp.o"
+  "CMakeFiles/test_gossip_server.dir/test_gossip_server.cpp.o.d"
+  "test_gossip_server"
+  "test_gossip_server.pdb"
+  "test_gossip_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

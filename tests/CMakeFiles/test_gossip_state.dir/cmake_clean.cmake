@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_state.dir/test_gossip_state.cpp.o"
+  "CMakeFiles/test_gossip_state.dir/test_gossip_state.cpp.o.d"
+  "test_gossip_state"
+  "test_gossip_state.pdb"
+  "test_gossip_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_infra.cpp" "tests/CMakeFiles/test_infra.dir/test_infra.cpp.o" "gcc" "tests/CMakeFiles/test_infra.dir/test_infra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/app/CMakeFiles/ew_app.dir/DependInfo.cmake"
+  "/root/repo/src/nws/CMakeFiles/ew_nws.dir/DependInfo.cmake"
+  "/root/repo/src/sim/mc/CMakeFiles/ew_mc.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/src/infra/CMakeFiles/ew_infra.dir/DependInfo.cmake"
+  "/root/repo/src/gossip/CMakeFiles/ew_gossip.dir/DependInfo.cmake"
+  "/root/repo/src/forecast/CMakeFiles/ew_forecast.dir/DependInfo.cmake"
+  "/root/repo/src/ramsey/CMakeFiles/ew_ramsey.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/ew_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/ew_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ew_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

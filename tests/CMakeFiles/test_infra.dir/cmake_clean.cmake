@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra.dir/test_infra.cpp.o"
+  "CMakeFiles/test_infra.dir/test_infra.cpp.o.d"
+  "test_infra"
+  "test_infra.pdb"
+  "test_infra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_misc.dir/test_logging_misc.cpp.o"
+  "CMakeFiles/test_logging_misc.dir/test_logging_misc.cpp.o.d"
+  "test_logging_misc"
+  "test_logging_misc.pdb"
+  "test_logging_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nws.dir/test_nws.cpp.o"
+  "CMakeFiles/test_nws.dir/test_nws.cpp.o.d"
+  "test_nws"
+  "test_nws.pdb"
+  "test_nws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistent_state.dir/test_persistent_state.cpp.o"
+  "CMakeFiles/test_persistent_state.dir/test_persistent_state.cpp.o.d"
+  "test_persistent_state"
+  "test_persistent_state.pdb"
+  "test_persistent_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistent_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramsey_clique.dir/test_ramsey_clique.cpp.o"
+  "CMakeFiles/test_ramsey_clique.dir/test_ramsey_clique.cpp.o.d"
+  "test_ramsey_clique"
+  "test_ramsey_clique.pdb"
+  "test_ramsey_clique[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramsey_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

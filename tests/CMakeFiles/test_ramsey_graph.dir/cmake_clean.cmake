@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramsey_graph.dir/test_ramsey_graph.cpp.o"
+  "CMakeFiles/test_ramsey_graph.dir/test_ramsey_graph.cpp.o.d"
+  "test_ramsey_graph"
+  "test_ramsey_graph.pdb"
+  "test_ramsey_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramsey_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramsey_heuristic.dir/test_ramsey_heuristic.cpp.o"
+  "CMakeFiles/test_ramsey_heuristic.dir/test_ramsey_heuristic.cpp.o.d"
+  "test_ramsey_heuristic"
+  "test_ramsey_heuristic.pdb"
+  "test_ramsey_heuristic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramsey_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

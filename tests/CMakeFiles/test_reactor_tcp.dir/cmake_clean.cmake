@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reactor_tcp.dir/test_reactor_tcp.cpp.o"
+  "CMakeFiles/test_reactor_tcp.dir/test_reactor_tcp.cpp.o.d"
+  "test_reactor_tcp"
+  "test_reactor_tcp.pdb"
+  "test_reactor_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reactor_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

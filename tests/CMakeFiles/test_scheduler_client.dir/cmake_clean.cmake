@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_client.dir/test_scheduler_client.cpp.o"
+  "CMakeFiles/test_scheduler_client.dir/test_scheduler_client.cpp.o.d"
+  "test_scheduler_client"
+  "test_scheduler_client.pdb"
+  "test_scheduler_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

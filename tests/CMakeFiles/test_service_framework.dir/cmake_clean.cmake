@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_framework.dir/test_service_framework.cpp.o"
+  "CMakeFiles/test_service_framework.dir/test_service_framework.cpp.o.d"
+  "test_service_framework"
+  "test_service_framework.pdb"
+  "test_service_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

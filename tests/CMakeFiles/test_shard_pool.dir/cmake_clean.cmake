@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard_pool.dir/test_shard_pool.cpp.o"
+  "CMakeFiles/test_shard_pool.dir/test_shard_pool.cpp.o.d"
+  "test_shard_pool"
+  "test_shard_pool.pdb"
+  "test_shard_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

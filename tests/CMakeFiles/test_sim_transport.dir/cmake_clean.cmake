@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_transport.dir/test_sim_transport.cpp.o"
+  "CMakeFiles/test_sim_transport.dir/test_sim_transport.cpp.o.d"
+  "test_sim_transport"
+  "test_sim_transport.pdb"
+  "test_sim_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_pool.dir/test_work_pool.cpp.o"
+  "CMakeFiles/test_work_pool.dir/test_work_pool.cpp.o.d"
+  "test_work_pool"
+  "test_work_pool.pdb"
+  "test_work_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
