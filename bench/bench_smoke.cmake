@@ -66,3 +66,11 @@ execute_process(COMMAND ${MC_EXPLORE} --quick RESULT_VARIABLE rc_mc)
 if(NOT rc_mc EQUAL 0)
   message(FATAL_ERROR "mc_explore --quick failed (exit ${rc_mc})")
 endif()
+
+# WISH storm gate: interactive job control + barrier epochs + env sync under
+# daemon crash-restart chaos. Non-zero exit means a lost job, a split or
+# hung barrier, env divergence, or an under-delivered chaos plan.
+execute_process(COMMAND ${WISH_STORM} --quick RESULT_VARIABLE rc_wish)
+if(NOT rc_wish EQUAL 0)
+  message(FATAL_ERROR "wish_storm --quick failed (exit ${rc_wish})")
+endif()

@@ -1,0 +1,113 @@
+// WISH pub/sub over the global environment, on the simulated Grid.
+//
+// Four WISH daemons share one gossip-backed environment (DESIGN.md §15).
+// The demo elects a publisher with leader-once, has it publish a "topic"
+// env variable that the gossip StateStore carries to every subscriber,
+// scatters a configuration payload to every daemon through the MPICH-G2
+// style k-ary tree, and closes with a barrier so nobody exits early —
+// the WISH shell's whole synchronization surface in one run.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gossip/gossip_server.hpp"
+#include "net/node.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+#include "sim/sim_transport.hpp"
+#include "wish/daemon.hpp"
+#include "wish/protocol.hpp"
+
+using namespace ew;
+
+int main() {
+  constexpr int kDaemons = 4;
+  sim::EventQueue events;
+  sim::NetworkModel net{Rng(7)};
+  sim::SimTransport transport(events, net);
+  gossip::ComparatorRegistry comparators;
+
+  // One gossip server carries the env blob between daemons.
+  std::vector<Endpoint> gossips = {Endpoint{"g0", 501}};
+  Node gossip_node(events, transport, gossips[0]);
+  if (!gossip_node.start().ok()) return 1;
+  gossip::GossipServer::Options gopts;
+  gopts.poll_period = 5 * kSecond;
+  gossip::GossipServer gossip_server(gossip_node, comparators, gossips, gopts);
+  gossip_server.start();
+
+  std::vector<Endpoint> peers;
+  for (int i = 0; i < kDaemons; ++i) {
+    peers.push_back(Endpoint{"wish-" + std::to_string(i), 701});
+  }
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<wish::WishDaemon>> daemons;
+  for (int i = 0; i < kDaemons; ++i) {
+    nodes.push_back(std::make_unique<Node>(events, transport,
+                                           peers[static_cast<std::size_t>(i)]));
+    if (!nodes.back()->start().ok()) return 1;
+    wish::WishDaemon::Options o;
+    o.peers = peers;
+    o.gossips = gossips;
+    daemons.push_back(
+        std::make_unique<wish::WishDaemon>(*nodes.back(), comparators, o));
+    daemons.back()->start();
+  }
+  events.run_for(30 * kSecond);  // registrations settle
+
+  // 1. Elect the publisher: every daemon claims, exactly one wins.
+  int publisher = -1;
+  for (int i = 0; i < kDaemons; ++i) {
+    daemons[static_cast<std::size_t>(i)]->leader_once(
+        "publisher", 1, "wish-" + std::to_string(i),
+        [&, i](bool won, const std::string& winner, std::uint64_t) {
+          if (won) publisher = i;
+          if (i == 0) std::printf("leader-once: winner is %s\n", winner.c_str());
+        });
+  }
+  events.run_for(5 * kSecond);
+  if (publisher < 0) return 1;
+
+  // 2. Publish: one env_set at the winner; gossip fans it out.
+  daemons[static_cast<std::size_t>(publisher)]->env_set("TOPIC/news",
+                                                        "hello-grid");
+  events.run_for(kMinute);
+  int subscribers = 0;
+  for (int i = 0; i < kDaemons; ++i) {
+    auto v = daemons[static_cast<std::size_t>(i)]->env_get("TOPIC/news");
+    if (v == "hello-grid") ++subscribers;
+  }
+  std::printf("pub/sub: %d/%d daemons saw TOPIC/news=hello-grid\n",
+              subscribers, kDaemons);
+
+  // 3. Scatter a config payload down the k-ary tree; the gather checksum
+  //    proves every daemon applied it.
+  Bytes payload = {0xc0, 0xff, 0xee};
+  bool scatter_ok = false;
+  daemons[static_cast<std::size_t>(publisher)]->scatter(
+      "config", 1, payload, [&](wish::ScatterReply r) {
+        std::uint64_t want = 0;
+        for (const auto& ep : peers) want += wish::scatter_fold(ep, payload);
+        scatter_ok = r.delivered == kDaemons && r.checksum == want;
+        std::printf("scatter: delivered %u/%d, checksum %s\n", r.delivered,
+                    kDaemons, scatter_ok ? "ok" : "MISMATCH");
+      });
+  events.run_for(10 * kSecond);
+
+  // 4. Barrier: everybody waits for everybody before the demo exits.
+  int released = 0;
+  for (int i = 0; i < kDaemons; ++i) {
+    daemons[static_cast<std::size_t>(i)]->enter_barrier(
+        "done", 1, kDaemons, [&released] { ++released; });
+  }
+  events.run_for(10 * kSecond);
+  std::printf("barrier: %d/%d released\n", released, kDaemons);
+
+  for (auto& d : daemons) d->stop();
+  gossip_server.stop();
+  const bool ok =
+      subscribers == kDaemons && scatter_ok && released == kDaemons;
+  std::printf("wish_pubsub: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -108,9 +108,23 @@ int ServerList::compare(const Bytes& a, const Bytes& b) {
   return a < b ? -1 : 1;
 }
 
+Bytes ServerList::merge_blobs(const Bytes& a, const Bytes& b) {
+  auto la = deserialize(a);
+  auto lb = deserialize(b);
+  if (!la) return lb ? b : Bytes{};
+  if (!lb) return a;
+  la->merge(*lb);
+  return la->serialize();
+}
+
 void ServerDirectoryModule::register_comparator(
     gossip::ComparatorRegistry& registry) {
   registry.register_comparator(statetype::kServerList, &ServerList::compare);
+  // The directory is a per-server fact union, not a single-writer record:
+  // every holder (gossip StateStore included) must re-union on conflict.
+  // Whole-blob LWW here loses the freshest heartbeat known to exactly one
+  // side each exchange, which kept live peers aging out of the directory.
+  registry.register_merger(statetype::kServerList, &ServerList::merge_blobs);
 }
 
 Bytes ServerDirectoryModule::state() const { return list_.serialize(); }

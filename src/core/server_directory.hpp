@@ -60,6 +60,11 @@ class ServerList {
   /// still converge via merge-on-apply.)
   static int compare(const Bytes& a, const Bytes& b);
 
+  /// Union merger for statetype::kServerList: entry-wise newest-heartbeat
+  /// union of both encodings. Registered so every holder re-unions instead
+  /// of replacing wholesale (gossip::MergeFn).
+  static Bytes merge_blobs(const Bytes& a, const Bytes& b);
+
  private:
   std::map<Endpoint, std::uint64_t> map_;
 };

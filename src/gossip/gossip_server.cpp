@@ -16,6 +16,7 @@ const char* merge_counter_name(MergeOutcome o) {
     case MergeOutcome::kFresher: return obs::names::kGossipMergeFresher;
     case MergeOutcome::kEqual: return obs::names::kGossipMergeEqual;
     case MergeOutcome::kStale: return obs::names::kGossipMergeStale;
+    case MergeOutcome::kMerged: return obs::names::kGossipMergeMerged;
   }
   return obs::names::kGossipMergeEqual;
 }
@@ -397,8 +398,9 @@ void GossipServer::poll_component(const Endpoint& component,
         // absorb, nothing to push back.
         if (reply->fresh) return;
         for (const auto& theirs : reply->blobs) {
-          if (absorb(theirs) != MergeOutcome::kStale) continue;
-          // The component is out of date: push our fresher copy ("the
+          if (!merge_sender_stale(absorb(theirs))) continue;
+          // The component is out of date (kStale, or kMerged: its copy was
+          // missing facts the union now holds): push our fresher copy ("the
           // Gossip sends a fresh state update to the application component
           // that originated the out-of-date message").
           auto fresh = store_.get(theirs.type);

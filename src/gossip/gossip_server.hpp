@@ -149,7 +149,7 @@ class GossipServer {
   std::uint64_t polls_sent_ = 0;
   std::uint64_t updates_pushed_ = 0;
   std::uint64_t states_absorbed_ = 0;
-  std::uint64_t merge_counts_[4] = {0, 0, 0, 0};
+  std::uint64_t merge_counts_[5] = {0, 0, 0, 0, 0};
   std::uint64_t delta_blobs_sent_ = 0;
   std::uint64_t digest_bytes_max_ = 0;
   TimerId poll_timer_ = kInvalidTimer;

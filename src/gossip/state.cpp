@@ -49,25 +49,58 @@ const FreshnessFn& ComparatorRegistry::comparator(MsgType type) const {
   return it == map_.end() ? fallback_ : it->second;
 }
 
+void ComparatorRegistry::register_merger(MsgType type, MergeFn fn) {
+  mergers_[type] = std::move(fn);
+}
+
+const MergeFn* ComparatorRegistry::merger(MsgType type) const {
+  auto it = mergers_.find(type);
+  return it == mergers_.end() ? nullptr : &it->second;
+}
+
 const char* merge_outcome_name(MergeOutcome o) {
   switch (o) {
     case MergeOutcome::kNew: return "new";
     case MergeOutcome::kFresher: return "fresher";
     case MergeOutcome::kEqual: return "equal";
     case MergeOutcome::kStale: return "stale";
+    case MergeOutcome::kMerged: return "merged";
   }
   return "?";
 }
 
 MergeOutcome StateStore::merge(const StateBlob& incoming) {
   const std::uint64_t checksum = content_checksum(incoming.content);
+  const MergeFn* merger = comparators_.merger(incoming.type);
+  // Union-mergeable types track version 0: their content has no meaningful
+  // version prefix, so digest staleness for them is decided by checksum
+  // alone and anti-entropy ships the disputed blob until the unions agree.
+  auto version_of = [&](const Bytes& content) -> std::uint64_t {
+    if (merger != nullptr) return 0;
+    const auto ver = blob_version(content);
+    return ver ? *ver : 0;
+  };
   auto it = map_.find(incoming.type);
   if (it == map_.end()) {
-    const auto ver = blob_version(incoming.content);
     map_.emplace(incoming.type,
-                 Entry{incoming.content, ver ? *ver : 0, checksum});
+                 Entry{incoming.content, version_of(incoming.content), checksum});
     ++store_version_;
     return MergeOutcome::kNew;
+  }
+  if (merger != nullptr) {
+    // Re-union instead of picking a whole-blob winner: an LWW replacement
+    // here would destroy facts the losing copy alone knew (the server-
+    // directory heartbeat ping-pong that kept aging live peers out).
+    Bytes merged = (*merger)(incoming.content, it->second.content);
+    if (merged == it->second.content) {
+      return checksum == it->second.checksum ? MergeOutcome::kEqual
+                                             : MergeOutcome::kStale;
+    }
+    const bool sender_complete = merged == incoming.content;
+    const std::uint64_t merged_checksum = content_checksum(merged);
+    it->second = Entry{std::move(merged), 0, merged_checksum};
+    ++store_version_;
+    return sender_complete ? MergeOutcome::kFresher : MergeOutcome::kMerged;
   }
   const int cmp =
       comparators_.comparator(incoming.type)(incoming.content, it->second.content);
@@ -129,6 +162,16 @@ std::vector<StateBlob> StateStore::blobs_fresher_than(
       out.push_back(StateBlob{type, entry.content});
       continue;
     }
+    // Union-mergeable types have no checksum ORDER — either side may hold
+    // facts the other lacks — so any checksum difference ships the blob.
+    // Merging is idempotent and commutative, so the symmetric exchange
+    // converges (checksums equalize) instead of ping-ponging.
+    if (comparators_.merger(type) != nullptr) {
+      if (entry.checksum != pit->checksum) {
+        out.push_back(StateBlob{type, entry.content});
+      }
+      continue;
+    }
     if (entry.version > pit->version ||
         (entry.version == pit->version && entry.checksum > pit->checksum)) {
       out.push_back(StateBlob{type, entry.content});
@@ -144,6 +187,12 @@ std::vector<MsgType> StateStore::types_stale_against(
     auto it = map_.find(s.type);
     if (it == map_.end()) {
       out.push_back(s.type);
+      continue;
+    }
+    // Union types: want the peer's copy whenever the contents differ at
+    // all — it may hold facts we lack even if our checksum is "larger".
+    if (comparators_.merger(s.type) != nullptr) {
+      if (s.checksum != it->second.checksum) out.push_back(s.type);
       continue;
     }
     if (s.version > it->second.version ||

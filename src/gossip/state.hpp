@@ -31,6 +31,15 @@ namespace ew::gossip {
 /// Returns <0 if a is staler than b, 0 if equally fresh, >0 if a is fresher.
 using FreshnessFn = std::function<int(const Bytes& a, const Bytes& b)>;
 
+/// Commutative, idempotent union of two encodings of the same type:
+/// merge(a, b) holds everything either side knew. Registered for state types
+/// whose replicas each contribute disjoint facts (a server directory, a
+/// membership list) rather than racing to publish one winner. When a merger
+/// is registered, every holder — the StateStore included, not just the
+/// component applier — re-unions instead of picking a whole-blob winner, so
+/// a fresh fact can never be destroyed by an LWW replacement.
+using MergeFn = std::function<Bytes(const Bytes& a, const Bytes& b)>;
+
 /// Compare by leading u64 version stamp; unparseable content is stalest.
 int compare_by_version_prefix(const Bytes& a, const Bytes& b);
 
@@ -50,20 +59,36 @@ class ComparatorRegistry {
   /// The comparator for `type` (version-prefix fallback when unregistered).
   [[nodiscard]] const FreshnessFn& comparator(MsgType type) const;
 
+  /// Mark `type` as union-mergeable. Holders consult merger() and re-union
+  /// on conflict instead of replacing the stored copy wholesale.
+  void register_merger(MsgType type, MergeFn fn);
+  /// The merger for `type`, or nullptr when the type is plain LWW.
+  [[nodiscard]] const MergeFn* merger(MsgType type) const;
+
  private:
   std::unordered_map<MsgType, FreshnessFn> map_;
+  std::unordered_map<MsgType, MergeFn> mergers_;
   FreshnessFn fallback_ = compare_by_version_prefix;
 };
 
 /// What StateStore::merge decided about an incoming blob. kNew and kFresher
-/// replaced the stored copy; kEqual and kStale left it alone. Gossip servers
-/// count each outcome distinctly, and a kStale poll result is the trigger
-/// for pushing a fresh copy back at the component.
-enum class MergeOutcome : std::uint8_t { kNew, kFresher, kEqual, kStale };
+/// replaced the stored copy; kEqual and kStale left it alone; kMerged (only
+/// possible for union-mergeable types) combined both copies — the store
+/// changed AND the sender is missing facts, so it behaves as "accepted" for
+/// dirtiness and as "stale sender" for the push-back path. Gossip servers
+/// count each outcome distinctly, and a kStale or kMerged poll result is
+/// the trigger for pushing a fresh copy back at the component.
+enum class MergeOutcome : std::uint8_t { kNew, kFresher, kEqual, kStale, kMerged };
 
 [[nodiscard]] const char* merge_outcome_name(MergeOutcome o);
 [[nodiscard]] inline bool merge_accepted(MergeOutcome o) {
-  return o == MergeOutcome::kNew || o == MergeOutcome::kFresher;
+  return o == MergeOutcome::kNew || o == MergeOutcome::kFresher ||
+         o == MergeOutcome::kMerged;
+}
+/// True when the sender of the merged blob is provably missing facts the
+/// store now holds — the condition for pushing the stored copy back.
+[[nodiscard]] inline bool merge_sender_stale(MergeOutcome o) {
+  return o == MergeOutcome::kStale || o == MergeOutcome::kMerged;
 }
 
 /// The freshest-known-copy store kept by each Gossip, with native per-type

@@ -137,11 +137,28 @@ void SyncClient::on_state_update(const IncomingMessage& msg, const Responder& re
     resp.fail(Err::kRejected, "state type not exposed: " + std::to_string(blob->type));
     return;
   }
-  // Apply only if genuinely fresher than what we hold — a slow Gossip must
-  // not be able to roll a component's state backwards.
+  // Union-mergeable types skip the freshness guard entirely: their applier
+  // IS a union, so applying any copy is idempotent and monotone — it can
+  // only add facts, never roll the component backwards.
+  if (comparators_.merger(blob->type) != nullptr) {
+    it->second.applier(blob->content);
+    ++updates_applied_;
+    resp.ok();
+    return;
+  }
+  // Apply only if fresher than what we hold — a slow Gossip must not be
+  // able to roll a component's state backwards. A comparator TIE with
+  // different content resolves exactly like StateStore::merge: the larger
+  // content checksum wins deterministically. Without the tie-break, two
+  // components publishing the same type under equal versions (the
+  // multi-writer WISH env blob) each drop the other's pushed copy as
+  // "equally fresh" and their contents never exchange.
   if (it->second.provider) {
     const Bytes mine = it->second.provider();
-    if (comparators_.comparator(blob->type)(blob->content, mine) <= 0) {
+    const int cmp = comparators_.comparator(blob->type)(blob->content, mine);
+    if (cmp < 0 ||
+        (cmp == 0 &&
+         content_checksum(blob->content) <= content_checksum(mine))) {
       resp.ok();  // polite no-op; we are already at least as fresh
       return;
     }

@@ -59,18 +59,25 @@ bool CircuitBreaker::allow(TimePoint now) {
   return true;
 }
 
-void CircuitBreaker::on_result(TimePoint now, bool ok) {
+void CircuitBreaker::on_result(TimePoint now, TimePoint sent, bool ok) {
   roll(now);
-  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+  // Evidence from before the last trip has already been priced in: those
+  // attempts were in flight when the breaker opened, and their failures are
+  // the very reason it opened. Only attempts sent since then say anything
+  // about the destination's *current* health.
+  const bool current = sent >= evidence_floor_;
+  if (state_ == State::kHalfOpen && current && probes_in_flight_ > 0) {
     --probes_in_flight_;
   }
   if (ok) {
     consecutive_failures_ = 0;
     // One successful probe is proof enough: the paper's servers flap with
     // ambient load, so a long confirmation window would just delay reuse.
+    // A stale success still counts — proof of life is valid whenever sent.
     if (state_ == State::kHalfOpen) state_ = State::kClosed;
     return;
   }
+  if (!current) return;
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen ||
       consecutive_failures_ >= opts_.failure_threshold) {
@@ -88,6 +95,7 @@ void CircuitBreaker::roll(TimePoint now) {
 void CircuitBreaker::trip(TimePoint now) {
   state_ = State::kOpen;
   open_until_ = now + opts_.open_for;
+  evidence_floor_ = now;
   consecutive_failures_ = 0;
   probes_in_flight_ = 0;
   ++times_opened_;
@@ -217,12 +225,13 @@ void CallPolicy::on_attempt_abandoned(const Endpoint& to) {
 }
 
 void CallPolicy::on_attempt_result(const EventTag& tag, const Endpoint& to,
-                                   TimePoint now, Duration rtt, bool ok) {
+                                   TimePoint now, TimePoint sent, Duration rtt,
+                                   bool ok) {
   timeouts_.on_result(tag, rtt, ok);
   if (opts_.breaker_enabled) {
     CircuitBreaker& b = breakers_.at(to);
     const CircuitBreaker::State before = b.peek_state();
-    b.on_result(now, ok);  // rolls, then applies the outcome
+    b.on_result(now, sent, ok);  // rolls, then applies the outcome
     note_breaker_edge(stats(), to, now, before, b.peek_state());
   }
 }

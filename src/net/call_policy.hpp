@@ -263,8 +263,18 @@ class CircuitBreaker {
   [[nodiscard]] bool allow(TimePoint now);
 
   /// Transport outcome of an attempt to this destination. Any response —
-  /// even an application rejection — proves the host alive.
-  void on_result(TimePoint now, bool ok);
+  /// even an application rejection — proves the host alive. `sent` is when
+  /// the attempt left: failures from attempts sent before the breaker last
+  /// tripped are *stale evidence* — already priced into that trip — and must
+  /// not re-trip a half-open breaker or extend the open window. Without this
+  /// guard a burst of N in-flight calls to a briefly-slow peer latches the
+  /// breaker open ~N× longer than `open_for` (each straggler timeout
+  /// re-trips), shedding unrelated traffic long after the peer recovered.
+  void on_result(TimePoint now, TimePoint sent, bool ok);
+
+  /// Attempt outcome with no send-time information: treated as current
+  /// evidence (sent = now).
+  void on_result(TimePoint now, bool ok) { on_result(now, now, ok); }
 
   /// An admitted attempt was abandoned (its call completed first) and will
   /// never report a result: free the probe slot it may occupy so the
@@ -282,6 +292,7 @@ class CircuitBreaker {
   Options opts_;
   State state_ = State::kClosed;
   TimePoint open_until_ = 0;
+  TimePoint evidence_floor_ = 0;  // send-times below this are stale evidence
   std::uint32_t consecutive_failures_ = 0;
   std::uint32_t probes_in_flight_ = 0;
   std::uint64_t times_opened_ = 0;
@@ -346,8 +357,10 @@ class CallPolicy {
   void on_attempt_abandoned(const Endpoint& to);
 
   /// Feed an attempt's transport outcome to the forecaster and breaker.
+  /// `sent` is the attempt's send time, used by the breaker to discount
+  /// stale evidence from before its last trip.
   void on_attempt_result(const EventTag& tag, const Endpoint& to,
-                         TimePoint now, Duration rtt, bool ok);
+                         TimePoint now, TimePoint sent, Duration rtt, bool ok);
 
  private:
   Options opts_;

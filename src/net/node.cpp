@@ -203,7 +203,8 @@ void Node::start_attempt(std::uint64_t call_id, Bytes payload, bool is_hedge) {
     // shrink time-outs for a peer that did nothing wrong. Other synchronous
     // failures are genuine destination trouble and are recorded.
     if (s.code() != Err::kOverloaded) {
-      policy_.on_attempt_result(c.tag, c.to, now, 0, /*ok=*/false);
+      policy_.on_attempt_result(c.tag, c.to, now, /*sent=*/now, 0,
+                                /*ok=*/false);
       if (observer_) observer_(c.to, c.type, 0, /*success=*/false);
     }
     on_attempt_failed(call_id, s.error());
@@ -245,7 +246,8 @@ void Node::on_attempt_timeout(std::uint64_t seq) {
   CallState& c = cit->second;
   --c.in_flight;
   policy_.stats().record_timeout(a.timeout);
-  policy_.on_attempt_result(c.tag, c.to, exec_.now(), a.timeout, /*ok=*/false);
+  policy_.on_attempt_result(c.tag, c.to, exec_.now(), a.sent, a.timeout,
+                            /*ok=*/false);
   if (observer_) observer_(c.to, c.type, a.timeout, /*success=*/false);
   // The server may still answer; if the call is then still undecided, that
   // late response completes it (see on_response).
@@ -344,7 +346,7 @@ void Node::on_response(const IncomingMessage& msg) {
     CallState& c = cit->second;
     --c.in_flight;
     const Duration rtt = now - a.sent;
-    policy_.on_attempt_result(c.tag, c.to, now, rtt, /*ok=*/true);
+    policy_.on_attempt_result(c.tag, c.to, now, a.sent, rtt, /*ok=*/true);
     if (observer_) observer_(c.to, c.type, rtt, /*success=*/true);
     if (c.hedge_sent) policy_.stats().record_hedge_result(a.is_hedge);
     deliver_response(a.call_id, msg);
@@ -363,7 +365,8 @@ void Node::on_response(const IncomingMessage& msg) {
     if (cit == calls_.end()) return;
     CallState& c = cit->second;
     policy_.stats().record_late_response(/*rescued=*/true);
-    policy_.on_attempt_result(c.tag, c.to, now, now - la.sent, /*ok=*/true);
+    policy_.on_attempt_result(c.tag, c.to, now, la.sent, now - la.sent,
+                              /*ok=*/true);
     deliver_response(la.call_id, msg);
     return;
   }

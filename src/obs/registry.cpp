@@ -171,7 +171,7 @@ const std::vector<const char*>& mandatory_counters() {
       names::kGossipUpdatesPushed, names::kGossipStatesAbsorbed,
       names::kGossipDeltaBlobs,   names::kGossipMergeNew,
       names::kGossipMergeFresher, names::kGossipMergeStale,
-      names::kGossipMergeEqual,
+      names::kGossipMergeEqual,   names::kGossipMergeMerged,
       names::kCliqueTokens,       names::kCliqueRounds,
       names::kCliqueFragmentations, names::kCliqueElections,
       names::kSchedDispatches,    names::kSchedReports,

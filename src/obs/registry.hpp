@@ -188,6 +188,7 @@ inline constexpr const char* kGossipMergeNew = "gossip.merge.new";
 inline constexpr const char* kGossipMergeFresher = "gossip.merge.fresher";
 inline constexpr const char* kGossipMergeStale = "gossip.merge.stale";
 inline constexpr const char* kGossipMergeEqual = "gossip.merge.equal";
+inline constexpr const char* kGossipMergeMerged = "gossip.merge.merged";
 inline constexpr const char* kGossipDigestBytes = "gossip.digest_bytes";
 inline constexpr const char* kGossipConvergenceRounds =
     "gossip.convergence_rounds";
@@ -213,6 +214,17 @@ inline constexpr const char* kSchedDirectiveLatencyUs =
 inline constexpr const char* kForecastMethodSwitches =
     "forecast.method_switches";
 inline constexpr const char* kAppDroppedSamples = "app.metrics.dropped_samples";
+inline constexpr const char* kWishJobsSpawned = "wish.jobs.spawned";
+inline constexpr const char* kWishJobsCompleted = "wish.jobs.completed";
+inline constexpr const char* kWishJobsKilled = "wish.jobs.killed";
+inline constexpr const char* kWishJobsUnknownPolls = "wish.jobs.unknown_polls";
+inline constexpr const char* kWishEnvSets = "wish.env.sets";
+inline constexpr const char* kWishEnvMerges = "wish.env.merges";
+inline constexpr const char* kWishEnvGhostRemints = "wish.env.ghost_remints";
+inline constexpr const char* kWishBarrierRounds = "wish.barrier.rounds";
+inline constexpr const char* kWishBarrierReentries = "wish.barrier.reentries";
+inline constexpr const char* kWishLeaderClaims = "wish.leader.claims";
+inline constexpr const char* kWishScatterForwards = "wish.scatter.forwards";
 }  // namespace names
 
 /// The instruments every snapshot of the process-wide registry must contain

@@ -23,6 +23,9 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kSchedUnitReclaimed: return "sched.unit_reclaimed";
     case SpanKind::kChaosFault: return "chaos.fault";
     case SpanKind::kGossipDelta: return "gossip.delta";
+    case SpanKind::kWishJob: return "wish.job";
+    case SpanKind::kWishBarrier: return "wish.barrier";
+    case SpanKind::kWishCollective: return "wish.collective";
   }
   return "?";
 }

@@ -43,6 +43,9 @@ enum class SpanKind : std::uint8_t {
   kSchedUnitReclaimed = 13,  // a = unit id, b = reason; tag = scheduler
   kChaosFault = 14,        // a = FaultKind, b = aux; tag = target host
   kGossipDelta = 15,       // a = blobs carried, b = registrations carried
+  kWishJob = 16,           // a = job id, b = JobState; tag = daemon endpoint
+  kWishBarrier = 17,       // a = epoch, b = arrivals; tag = barrier name
+  kWishCollective = 18,    // a = subtree size, b = fan-out; tag = name
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind k);

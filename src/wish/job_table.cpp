@@ -1,0 +1,51 @@
+#include "wish/job_table.hpp"
+
+namespace ew::wish {
+
+JobTable::Job& JobTable::spawn(const JobSpec& spec, const Endpoint& owner) {
+  const std::uint64_t id = (incarnation_ << 32) | ++next_seq_;
+  Job& j = jobs_[id];
+  j.id = id;
+  j.spec = spec;
+  j.owner = owner;
+  j.state = JobState::kQueued;
+  return j;
+}
+
+JobTable::Job* JobTable::find(std::uint64_t id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const JobTable::Job* JobTable::find(std::uint64_t id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+JobStatus JobTable::status_of(std::uint64_t id) const {
+  JobStatus s;
+  s.id = id;
+  if (const Job* j = find(id)) {
+    s.state = j->state;
+    s.exit_code = j->exit_code;
+  } else {
+    s.state = JobState::kLost;  // not ours (pre-restart id, or reaped)
+  }
+  return s;
+}
+
+bool JobTable::reap(std::uint64_t id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || !job_state_terminal(it->second.state)) return false;
+  jobs_.erase(it);
+  return true;
+}
+
+std::vector<JobTable::Job*> JobTable::all() {
+  std::vector<Job*> out;
+  out.reserve(jobs_.size());
+  for (auto& [id, j] : jobs_) out.push_back(&j);
+  return out;
+}
+
+}  // namespace ew::wish

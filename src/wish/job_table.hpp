@@ -1,0 +1,60 @@
+// The WISH daemon's job table: simulated processes spawned on a host.
+//
+// Jobs are crash-stop soft state — a daemon restart loses the table, and a
+// poll for an id the (new incarnation of the) daemon does not know answers
+// JobState::kLost. Ids embed the daemon's incarnation in the high 32 bits,
+// so a restarted daemon can never re-issue an id a client already holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/endpoint.hpp"
+#include "net/executor.hpp"
+#include "wish/protocol.hpp"
+
+namespace ew::wish {
+
+class JobTable {
+ public:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    Endpoint owner;
+    JobState state = JobState::kQueued;
+    std::int64_t exit_code = 0;
+    TimePoint started = 0;
+    TimerId completion = kInvalidTimer;  // owned by the daemon
+  };
+
+  explicit JobTable(std::uint64_t incarnation) : incarnation_(incarnation) {}
+
+  /// Admit one job (kQueued). The daemon transitions it to kRunning and
+  /// schedules its completion.
+  Job& spawn(const JobSpec& spec, const Endpoint& owner);
+
+  [[nodiscard]] Job* find(std::uint64_t id);
+  [[nodiscard]] const Job* find(std::uint64_t id) const;
+
+  /// The status a poll reports: kLost for unknown ids.
+  [[nodiscard]] JobStatus status_of(std::uint64_t id) const;
+
+  /// Remove `id` if present AND terminal; running jobs cannot be reaped.
+  bool reap(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+  [[nodiscard]] std::uint64_t spawned() const { return next_seq_; }
+
+  /// All live jobs, id order (deterministic teardown/iteration).
+  [[nodiscard]] std::vector<Job*> all();
+
+ private:
+  std::uint64_t incarnation_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Job> jobs_;  // ordered for deterministic walks
+};
+
+}  // namespace ew::wish

@@ -1,0 +1,28 @@
+// Model-checker fixture for the WISH synchronization primitives.
+//
+// Three WishDaemons (w0..w2, one barrier coordinator among them) enter one
+// 3-wide barrier and race one leader-once claim while the Explorer permutes
+// message interleavings and may crash/restart the coordinator host. The
+// world's invariants pin the crash-safe barrier contract:
+//
+//   safety  — a participant's barrier callback fires at most once per enter
+//             (a barrier never both releases and re-forms around the same
+//             participant), and leader-once never reports two winners for
+//             the same coordinator incarnation;
+//   liveness — when the coordinator host is up at the end of the branch,
+//             every live participant released and no wait is left open
+//             (no split or hung barrier). With the coordinator crashed and
+//             never restarted, only the safety half applies: crash-stop
+//             soft state cannot release a barrier without its coordinator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/mc/explorer.hpp"
+
+namespace ew::wish {
+
+std::unique_ptr<sim::mc::World> make_wish_world(std::uint64_t seed);
+
+}  // namespace ew::wish

@@ -365,6 +365,86 @@ TEST(CircuitBreakerUnit, AbandonedProbeDoesNotLatchHalfOpen) {
   EXPECT_EQ(b.state(kSecond), CircuitBreaker::State::kClosed);
 }
 
+TEST(CircuitBreakerUnit, StaleBurstEvidenceCannotLatchTheBreaker) {
+  // Regression for the bursty-caller latch: a fan-out of one-shot calls all
+  // leaves at t=0 toward a briefly-slow peer. The 2nd timeout trips the
+  // breaker; the remaining in-flight attempts keep timing out afterwards.
+  // Those failures are *stale evidence* — sent before the trip, already
+  // priced into it — and must not extend the open window, re-trip the
+  // half-open state, or consume half-open probe slots. Before the fix each
+  // straggler re-tripped, latching the breaker open for the whole burst's
+  // timeout spread plus open_for.
+  CircuitBreaker::Options o;
+  o.failure_threshold = 2;
+  o.open_for = kSecond;
+  o.half_open_probes = 1;
+  CircuitBreaker b(o);
+
+  b.on_result(100 * kMillisecond, /*sent=*/0, false);
+  b.on_result(200 * kMillisecond, /*sent=*/0, false);  // trips at t=200ms
+  EXPECT_EQ(b.times_opened(), 1u);
+
+  // Stragglers from the same burst while open: no window extension.
+  b.on_result(700 * kMillisecond, /*sent=*/0, false);
+  b.on_result(1100 * kMillisecond, /*sent=*/0, false);
+  // open_until_ stayed 200ms + 1s: the breaker rolls half-open on schedule.
+  EXPECT_EQ(b.state(1200 * kMillisecond), CircuitBreaker::State::kHalfOpen);
+
+  // A straggler arriving in half-open must not re-trip it...
+  b.on_result(1250 * kMillisecond, /*sent=*/0, false);
+  EXPECT_EQ(b.state(1250 * kMillisecond), CircuitBreaker::State::kHalfOpen);
+  // ...and a probe slot is still available for a real probe.
+  EXPECT_TRUE(b.allow(1300 * kMillisecond));
+  EXPECT_FALSE(b.allow(1300 * kMillisecond));  // budget spent by the probe
+  // One more stale failure while the probe is in flight: the probe's slot
+  // must not be freed or the state disturbed.
+  b.on_result(1350 * kMillisecond, /*sent=*/0, false);
+  EXPECT_EQ(b.state(1350 * kMillisecond), CircuitBreaker::State::kHalfOpen);
+  // The genuine probe (sent after the trip) succeeds and closes the breaker.
+  b.on_result(1400 * kMillisecond, /*sent=*/1300 * kMillisecond, true);
+  EXPECT_EQ(b.state(1400 * kMillisecond), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.times_opened(), 1u);
+
+  // A *current* failure in half-open still re-trips — only staleness is
+  // discounted, not failure itself (OpensHalfOpensAndCloses pins that too).
+}
+
+TEST_F(CallPolicyTest, BurstToBrieflySlowPeerDoesNotLatchBreaker) {
+  // End-to-end shape of the WISH barrier fan-out: 64 one-shot calls launched
+  // together at a peer that stops answering just then. Their timeouts are
+  // spread (staggered per-call budgets), so failures keep arriving long
+  // after the 5th one tripped the breaker. The breaker must open exactly
+  // once and recover on schedule — before the fix every straggler re-tripped
+  // it, shedding unrelated traffic far beyond open_for.
+  client.call_policy().set_breaker_enabled(true);
+  drop_all_requests();
+  int failures = 0;
+  for (int i = 0; i < 64; ++i) {
+    client.call(server.self(), kEcho, {},
+                CallOptions::fixed((100 + 50 * i) * kMillisecond),
+                [&](Result<Bytes> r) { failures += r.ok() ? 0 : 1; });
+  }
+  events.run_until_idle();  // storm plays out; last timeout at ~3.25 s
+  EXPECT_EQ(failures, 64);
+  EXPECT_EQ(stat(obs::names::kNetBreakerOpened), 1u);
+
+  // The peer recovers. Default open window is 10 s from the (single) trip;
+  // by 15 s the breaker is half-open and one probe closes it.
+  transport.set_drop_fn(nullptr);
+  events.run_for(15 * kSecond);
+  std::optional<Result<Bytes>> probe;
+  client.call(server.self(), kEcho, {1}, CallOptions::fixed(kSecond),
+              [&](Result<Bytes> r) { probe = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(probe && probe->ok());
+  std::optional<Result<Bytes>> after;
+  client.call(server.self(), kEcho, {2}, CallOptions::fixed(kSecond),
+              [&](Result<Bytes> r) { after = std::move(r); });
+  events.run_until_idle();
+  ASSERT_TRUE(after && after->ok());
+  EXPECT_EQ(stat(obs::names::kNetBreakerOpened), 1u);  // never re-tripped
+}
+
 TEST_F(CallPolicyTest, BreakerShedsCallsAndRecoversThroughProbe) {
   client.call_policy().set_breaker_enabled(true);
   drop_all_requests();

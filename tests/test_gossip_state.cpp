@@ -1,6 +1,8 @@
 // Tests for gossip state records, freshness comparison, and protocol codecs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gossip/protocol.hpp"
 #include "gossip/state.hpp"
 
@@ -90,6 +92,67 @@ TEST(StateStore, ComparatorTieBreaksDeterministically) {
   EXPECT_EQ(s1.rollup_checksum(), s2.rollup_checksum());
 }
 
+// A toy union-mergeable type: content is a sorted set of bytes, merge is set
+// union. Mirrors the server directory's per-server fact-union shape.
+Bytes byte_set_union(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  for (auto x : b) {
+    if (std::find(out.begin(), out.end(), x) == out.end()) out.push_back(x);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(StateStore, UnionMergerReUnionsInsteadOfReplacing) {
+  ComparatorRegistry reg;
+  reg.register_merger(9, &byte_set_union);
+  StateStore store(reg);
+  EXPECT_EQ(store.merge(StateBlob{9, Bytes{1, 2}}), MergeOutcome::kNew);
+  // Both sides contribute: the store must keep the union, not a winner.
+  EXPECT_EQ(store.merge(StateBlob{9, Bytes{2, 3}}), MergeOutcome::kMerged);
+  EXPECT_EQ(store.get(9)->content, (Bytes{1, 2, 3}));
+  // A subset adds nothing — but its sender is provably stale: push-back.
+  EXPECT_EQ(store.merge(StateBlob{9, Bytes{2}}), MergeOutcome::kStale);
+  EXPECT_EQ(store.get(9)->content, (Bytes{1, 2, 3}));
+  // Byte-identical copy is a clean no-op.
+  EXPECT_EQ(store.merge(StateBlob{9, Bytes{1, 2, 3}}), MergeOutcome::kEqual);
+  // A strict superset replaces outright.
+  EXPECT_EQ(store.merge(StateBlob{9, Bytes{1, 2, 3, 4}}), MergeOutcome::kFresher);
+  EXPECT_EQ(store.get(9)->content, (Bytes{1, 2, 3, 4}));
+  // kMerged dirties the store (it changed) AND marks the sender stale (it
+  // is missing facts) — both halves of the anti-entropy contract.
+  EXPECT_TRUE(merge_accepted(MergeOutcome::kMerged));
+  EXPECT_TRUE(merge_sender_stale(MergeOutcome::kMerged));
+  EXPECT_TRUE(merge_sender_stale(MergeOutcome::kStale));
+  EXPECT_FALSE(merge_sender_stale(MergeOutcome::kFresher));
+}
+
+TEST(StateStore, UnionMergerTypesDigestByChecksumAlone) {
+  // Union types have no version prefix; their summary version is pinned to
+  // 0 so digest staleness is decided purely by checksum, and the disputed
+  // blob keeps flowing until the unions agree.
+  ComparatorRegistry reg;
+  reg.register_merger(9, &byte_set_union);
+  StateStore s1(reg), s2(reg);
+  s1.merge(StateBlob{9, Bytes{1, 2, 3, 4, 5, 6, 7, 8, 9}});
+  EXPECT_EQ(s1.summary_of(9).version, 0u);
+
+  // Two diverged stores converge through the digest/delta planner in ONE
+  // symmetric exchange without ever losing a fact — checksum difference
+  // (not order) ships the disputed blob in both directions.
+  s2.merge(StateBlob{9, Bytes{1, 2, 3, 4, 5, 6, 7, 8, 42}});
+  EXPECT_EQ(s1.blobs_fresher_than(s2.summary()).size(), 1u);
+  EXPECT_EQ(s2.blobs_fresher_than(s1.summary()).size(), 1u);
+  EXPECT_EQ(s1.types_stale_against(s2.summary()), std::vector<MsgType>{9});
+  for (const auto& b : s1.blobs_fresher_than(s2.summary())) s2.merge(b);
+  for (const auto& b : s2.blobs_fresher_than(s1.summary())) s1.merge(b);
+  // Converged: the planners go quiet.
+  EXPECT_TRUE(s1.blobs_fresher_than(s2.summary()).empty());
+  EXPECT_TRUE(s1.types_stale_against(s2.summary()).empty());
+  EXPECT_EQ(s1.get(9)->content, (Bytes{1, 2, 3, 4, 5, 6, 7, 8, 9, 42}));
+  EXPECT_EQ(s1.get(9)->content, s2.get(9)->content);
+}
+
 TEST(StateStore, TypesIndependent) {
   ComparatorRegistry reg;
   StateStore store(reg);
@@ -133,6 +196,36 @@ TEST(StateStore, StoreVersionBumpsOnlyOnAcceptedMerges) {
   EXPECT_EQ(store.store_version(), v1);
   store.merge(StateBlob{1, versioned_blob(2, {})});  // kFresher
   EXPECT_GT(store.store_version(), v1);
+}
+
+TEST(StateStore, CrashRestartGhostShadowsLowVersionRepublish) {
+  // Pin of the crash-restart incarnation hazard the WISH env-var layer must
+  // design around. The store itself is *correct* to keep the higher-version
+  // copy: it has no notion of writer identity, so a daemon that crashes,
+  // restarts with a fresh version counter, and re-publishes at version 1 is
+  // shadowed by its own pre-crash ghost — and a kStale poll outcome actively
+  // pushes the ghost back at the restarted writer. Convergence on the ghost
+  // is the store's contract; any layer that re-publishes after a restart
+  // must therefore re-mint ABOVE the ghost's version (read the merged copy,
+  // floor its own counter past it), as wish::EnvStore does. If this test
+  // ever changes, that contract moved — update DESIGN.md §15 and EnvStore.
+  ComparatorRegistry reg;
+  StateStore store(reg);
+  // Pre-crash incarnation published up to version 10.
+  EXPECT_TRUE(merge_accepted(
+      store.merge(StateBlob{7, versioned_blob(10, {Bytes{1}})})));
+  // Restarted incarnation, counter reset, re-publishes at version 1: the
+  // ghost wins, forever, no matter how often the new copy is offered.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(store.merge(StateBlob{7, versioned_blob(1, {Bytes{2}})}),
+              MergeOutcome::kStale);
+  }
+  EXPECT_EQ(*blob_version(store.get(7)->content), 10u);
+  EXPECT_EQ(*blob_body(store.get(7)->content), Bytes{1});
+  // The escape hatch layers above must use: re-mint past the ghost.
+  EXPECT_EQ(store.merge(StateBlob{7, versioned_blob(11, {Bytes{2}})}),
+            MergeOutcome::kFresher);
+  EXPECT_EQ(*blob_body(store.get(7)->content), Bytes{2});
 }
 
 TEST(StateStore, DeltaPlannerFindsExactlyTheStaleTypes) {
